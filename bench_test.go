@@ -1,0 +1,136 @@
+package repro
+
+// One benchmark per table and figure of the SoftMoW evaluation (§7), plus
+// the §4.3 label-mechanism ablation. Each benchmark regenerates its
+// artifact end-to-end at laptop scale (experiments.Small); run
+// cmd/experiments -scale full for the paper-scale numbers recorded in
+// EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pathimpl"
+)
+
+// BenchmarkFig8HopCount regenerates Figure 8: end-to-end hop-count
+// distributions for LTE vs 2/4/8-egress SoftMoW.
+func BenchmarkFig8HopCount(b *testing.B) {
+	p := experiments.Small()
+	p.Prefixes = 80
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunRouting(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.HopReductionPct <= 0 {
+			b.Fatal("SoftMoW must reduce hop count vs LTE")
+		}
+	}
+}
+
+// BenchmarkFig9Latency regenerates Figure 9: the end-to-end RTT CDFs (the
+// same driver produces Figs. 8 and 9; this benchmark validates the RTT
+// side).
+func BenchmarkFig9Latency(b *testing.B) {
+	p := experiments.Small()
+	p.Prefixes = 80
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunRouting(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.RTT85ReductionPct <= 0 {
+			b.Fatal("SoftMoW must reduce tail RTT vs LTE")
+		}
+		for _, r := range out.Results {
+			if len(r.RTTCDF) == 0 {
+				b.Fatal("missing RTT CDF")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10Discovery regenerates Figure 10: per-controller discovery
+// convergence vs the flat LLDP baseline.
+func BenchmarkFig10Discovery(b *testing.B) {
+	ev, err := experiments.BuildEval(experiments.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunDiscoveryConvergence(ev)
+		for _, c := range out.PerController {
+			if c.SoftMoW >= out.FlatTotal {
+				b.Fatalf("%s did not beat flat discovery", c.Controller)
+			}
+		}
+	}
+}
+
+// BenchmarkTable1Abstraction regenerates Table 1: per-controller
+// discovered-vs-exposed statistics.
+func BenchmarkTable1Abstraction(b *testing.B) {
+	ev, err := experiments.BuildEval(experiments.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunAbstractionStats(ev)
+		if out.RootHiddenLinkPct <= 0 {
+			b.Fatal("abstraction must hide links from the root")
+		}
+	}
+}
+
+// BenchmarkFig11Loads regenerates Figure 11: per-minute bearer/UE/handover
+// load CDFs per leaf region over one diurnal day.
+func BenchmarkFig11Loads(b *testing.B) {
+	ev, err := experiments.BuildEval(experiments.Small())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := experiments.RunLoads(ev)
+		if len(out.Series) == 0 {
+			b.Fatal("no load series")
+		}
+	}
+}
+
+// BenchmarkFig12RegionOpt regenerates Figure 12: the 48-hour inter-region
+// handover series with and without the greedy region optimization.
+func BenchmarkFig12RegionOpt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunRegionOpt(experiments.Small(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.ReductionPct <= 0 {
+			b.Fatal("region optimization must reduce inter-region handovers")
+		}
+	}
+}
+
+// BenchmarkLabelSwapVsStack regenerates the §4.3 ablation: recursive label
+// swapping (depth 1 always) vs label stacking (depth grows with hierarchy
+// levels).
+func BenchmarkLabelSwapVsStack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunLabelAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range out.Runs {
+			if r.Mode == pathimpl.ModeSwap && r.MaxLabelDepth != 1 {
+				b.Fatal("swap mode must keep packets at one label")
+			}
+			if r.Mode == pathimpl.ModeStack && r.MaxLabelDepth != r.Levels {
+				b.Fatal("stack mode depth must equal hierarchy depth")
+			}
+		}
+	}
+}

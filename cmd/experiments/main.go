@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the SoftMoW
+// evaluation (§7):
+//
+//	experiments -exp all                # everything, paper scale
+//	experiments -exp fig8 -scale small  # one experiment, laptop scale
+//
+// Experiments: fig8 (hop counts), fig9 (RTT CDF; produced with fig8),
+// fig10 (discovery convergence), table1 (abstraction stats), fig11
+// (cellular loads), fig12 (handover optimization), labels (the §4.3
+// swap-vs-stack ablation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all|fig8|fig9|fig10|table1|fig11|fig12|labels")
+	scale := flag.String("scale", "full", "scale: full (paper) or small (laptop)")
+	seed := flag.Int64("seed", 42, "random seed")
+	regions := flag.Int("regions", 0, "override region count")
+	flag.Parse()
+
+	var p experiments.Params
+	switch *scale {
+	case "full":
+		p = experiments.Full()
+	case "small":
+		p = experiments.Small()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	p.Seed = *seed
+	if *regions > 0 {
+		p.Regions = *regions
+	}
+
+	want := func(name string) bool {
+		return *exp == "all" || *exp == name ||
+			(name == "fig8" && *exp == "fig9") // fig9 is produced with fig8
+	}
+	ran := false
+
+	if want("fig8") {
+		ran = true
+		run("Figures 8 & 9 (routing performance)", func() (string, error) {
+			out, err := experiments.RunRouting(p)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderRouting(out), nil
+		})
+	}
+
+	if want("fig10") || want("table1") {
+		ran = true
+		run("Figure 10 & Table 1 (discovery and abstraction)", func() (string, error) {
+			ev, err := experiments.BuildEval(p)
+			if err != nil {
+				return "", err
+			}
+			s := ""
+			if want("fig10") {
+				s += experiments.RenderDiscovery(experiments.RunDiscoveryConvergence(ev)) + "\n"
+			}
+			if want("table1") {
+				s += experiments.RenderAbstraction(experiments.RunAbstractionStats(ev))
+			}
+			return s, nil
+		})
+	}
+
+	if want("fig11") {
+		ran = true
+		run("Figure 11 (cellular loads)", func() (string, error) {
+			ev, err := experiments.BuildEval(p)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLoads(experiments.RunLoads(ev)), nil
+		})
+	}
+
+	if want("fig12") {
+		ran = true
+		run("Figure 12 (inter-region handover optimization)", func() (string, error) {
+			var outs []*experiments.RegionOptOutcome
+			for _, k := range []int{4, 8} {
+				o, err := experiments.RunRegionOpt(p, k)
+				if err != nil {
+					return "", err
+				}
+				outs = append(outs, o)
+			}
+			return experiments.RenderRegionOpt(outs), nil
+		})
+	}
+
+	if want("labels") {
+		ran = true
+		run("Label ablation (§4.3)", func() (string, error) {
+			out, err := experiments.RunLabelAblation()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderLabels(out), nil
+		})
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func run(title string, f func() (string, error)) {
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+	start := time.Now()
+	s, err := f()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(s)
+	fmt.Printf("[%s in %v]\n\n", title, time.Since(start).Round(time.Millisecond))
+}

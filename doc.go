@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "SoftMoW: Recursive
+// and Reconfigurable Cellular WAN Architecture" (CoNEXT 2014): a recursive
+// hierarchical SDN control plane for nation-wide cellular WANs, together
+// with every substrate its evaluation depends on — a programmable-switch
+// data plane, an OpenFlow-like southbound protocol, a RocketFuel-class
+// topology generator, a synthetic LTE workload model, and an interdomain
+// path-quality table.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The benchmarks in bench_test.go regenerate
+// every table and figure of the paper's evaluation section.
+package repro

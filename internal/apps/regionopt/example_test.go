@@ -1,0 +1,39 @@
+package regionopt_test
+
+import (
+	"fmt"
+
+	"repro/internal/apps/regionopt"
+	"repro/internal/dataplane"
+	"repro/internal/ltetrace"
+)
+
+// Example reproduces the paper's Fig. 7 walkthrough: border G-BS 3 sits in
+// region B but hands most of its traffic to region A, so the greedy
+// optimizer re-associates it (§5.3.1: "the controller selects border G-BS
+// 3 for the reconfiguration since it gives the maximum gain").
+func Example() {
+	g := ltetrace.NewHandoverGraph()
+	g.Add("gbs3", "IA", 400) // toward region A's internal aggregate
+	g.Add("gbs3", "gbs4", 100)
+	g.Add("gbs3", "IB", 200) // toward its own region B
+	g.Add("gbs3", "gbs2", 100)
+	g.Add("gbs4", "IA", 400)
+	g.Add("gbs2", "IB", 300)
+
+	res := regionopt.Optimize(regionopt.Problem{
+		Graph: g,
+		Assign: regionopt.Assignment{
+			"gbs2": "B", "gbs3": "B", "IB": "B",
+			"gbs4": "A", "IA": "A",
+		},
+		Movable: map[dataplane.DeviceID]bool{"gbs2": true, "gbs3": true, "gbs4": true},
+	})
+	for _, m := range res.Moves {
+		fmt.Printf("move %s: %s -> %s (gain %d)\n", m.GBS, m.From, m.To, m.Gain)
+	}
+	fmt.Printf("inter-region handovers: %d -> %d\n", res.Before, res.After)
+	// Output:
+	// move gbs3: B -> A (gain 200)
+	// inter-region handovers: 500 -> 300
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/discovery"
+	"repro/internal/southbound"
+)
+
+// ConnDevice is a Device implementation speaking the southbound wire
+// protocol over a southbound.Conn — the deployment mode of the paper's
+// prototype where "leaf controllers use the OpenFlow protocol to
+// communicate with switches" (§7.1). It pairs with
+// southbound.SwitchAgent.Serve on the device side and works over both
+// in-process pipes and gob/TCP connections.
+//
+// A pump goroutine dispatches asynchronous events (Packet-In, Port-Status)
+// to the owning controller and routes replies to waiting synchronous
+// requests by transaction ID.
+type ConnDevice struct {
+	id   dataplane.DeviceID
+	conn southbound.Conn
+
+	mu      sync.Mutex
+	ctrl    *Controller
+	pending map[uint32]chan southbound.Msg
+	closed  bool
+
+	xid atomic.Uint32
+
+	// RequestTimeout bounds synchronous request round-trips.
+	RequestTimeout time.Duration
+}
+
+// DialDevice completes the Hello handshake as controllerID and returns a
+// running ConnDevice for the switch at the far end.
+func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) {
+	if err := southbound.Handshake(conn, controllerID); err != nil {
+		return nil, err
+	}
+	d := &ConnDevice{
+		conn:           conn,
+		pending:        make(map[uint32]chan southbound.Msg),
+		RequestTimeout: 5 * time.Second,
+	}
+	// Learn the device ID via an initial feature request, synchronously,
+	// before the pump starts (no concurrent readers yet).
+	x := d.xid.Add(1)
+	if err := conn.Send(southbound.Msg{Type: southbound.TypeFeatureRequest, Xid: x, Body: southbound.FeatureRequest{}}); err != nil {
+		return nil, err
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if m.Type == southbound.TypeFeatureReply && m.Xid == x {
+			fr, ok := m.Body.(southbound.FeatureReply)
+			if !ok {
+				return nil, fmt.Errorf("core: malformed feature reply %T", m.Body)
+			}
+			d.id = fr.Device
+			break
+		}
+		// Events racing the handshake are dropped; the controller will
+		// refresh state after attach.
+	}
+	go d.pump()
+	return d, nil
+}
+
+func (d *ConnDevice) setController(c *Controller) {
+	d.mu.Lock()
+	d.ctrl = c
+	d.mu.Unlock()
+}
+
+func (d *ConnDevice) controller() *Controller {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctrl
+}
+
+// Close tears down the connection and fails pending requests.
+func (d *ConnDevice) Close() error {
+	d.mu.Lock()
+	d.closed = true
+	pend := d.pending
+	d.pending = make(map[uint32]chan southbound.Msg)
+	d.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	return d.conn.Close()
+}
+
+func (d *ConnDevice) pump() {
+	for {
+		m, err := d.conn.Recv()
+		if err != nil {
+			return
+		}
+		// Reply routing.
+		if m.Xid != 0 {
+			d.mu.Lock()
+			ch, ok := d.pending[m.Xid]
+			if ok {
+				delete(d.pending, m.Xid)
+			}
+			d.mu.Unlock()
+			if ok {
+				ch <- m
+				continue
+			}
+		}
+		// Event dispatch.
+		c := d.controller()
+		if c == nil {
+			continue
+		}
+		switch m.Type {
+		case southbound.TypePacketIn:
+			pi, ok := m.Body.(southbound.PacketIn)
+			if !ok {
+				continue
+			}
+			if f, isFrame := pi.Control.(*discovery.Frame); isFrame {
+				c.HandleDiscoveryArrival(d.id, pi.InPort, f)
+				continue
+			}
+			if pi.Packet != nil {
+				c.HandlePacketIn(d.id, pi.InPort, pi.Packet)
+			}
+		case southbound.TypePortStatus:
+			ps, ok := m.Body.(southbound.PortStatus)
+			if !ok {
+				continue
+			}
+			c.HandlePortStatus(d.id, ps.Port, ps.Up)
+		}
+	}
+}
+
+// request performs one synchronous round-trip.
+func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
+	x := d.xid.Add(1)
+	m.Xid = x
+	ch := make(chan southbound.Msg, 1)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return southbound.Msg{}, southbound.ErrClosed
+	}
+	d.pending[x] = ch
+	d.mu.Unlock()
+	if err := d.conn.Send(m); err != nil {
+		d.mu.Lock()
+		delete(d.pending, x)
+		d.mu.Unlock()
+		return southbound.Msg{}, err
+	}
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return southbound.Msg{}, southbound.ErrClosed
+		}
+		if reply.Type == southbound.TypeError {
+			if e, ok := reply.Body.(southbound.Error); ok {
+				return reply, fmt.Errorf("core: device %s: %s (code %d)", d.id, e.Message, e.Code)
+			}
+			return reply, fmt.Errorf("core: device %s returned an error", d.id)
+		}
+		return reply, nil
+	case <-time.After(d.RequestTimeout):
+		d.mu.Lock()
+		delete(d.pending, x)
+		d.mu.Unlock()
+		return southbound.Msg{}, fmt.Errorf("core: request to %s timed out", d.id)
+	}
+}
+
+// ID implements Device.
+func (d *ConnDevice) ID() dataplane.DeviceID { return d.id }
+
+// Features implements Device.
+func (d *ConnDevice) Features() southbound.FeatureReply {
+	reply, err := d.request(southbound.Msg{Type: southbound.TypeFeatureRequest, Body: southbound.FeatureRequest{}})
+	if err != nil {
+		return southbound.FeatureReply{Device: d.id, Kind: dataplane.KindSwitch}
+	}
+	fr, _ := reply.Body.(southbound.FeatureReply)
+	return fr
+}
+
+// InstallRule implements Device: a FlowMod followed by a barrier so the
+// rule is in place when the call returns. Device-side refusals (e.g. a
+// slave-role write) surface as errors.
+func (d *ConnDevice) InstallRule(r dataplane.Rule) error {
+	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+		Body: southbound.FlowMod{Command: southbound.FlowAdd, Rule: r}})
+}
+
+// RemoveRules implements Device.
+func (d *ConnDevice) RemoveRules(owner string) error {
+	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwner, Owner: owner}})
+}
+
+// RemoveRulesBefore implements Device.
+func (d *ConnDevice) RemoveRulesBefore(owner string, version int) error {
+	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerBefore, Owner: owner, Version: version}})
+}
+
+// sendModAndBarrier sends a modification with a tracked transaction ID,
+// fences it with a barrier, and reports any error the device raised for
+// the modification. The agent processes a connection's messages in order,
+// so an error for the mod is delivered before the barrier reply.
+func (d *ConnDevice) sendModAndBarrier(m southbound.Msg) error {
+	x := d.xid.Add(1)
+	m.Xid = x
+	ch := make(chan southbound.Msg, 1)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return southbound.ErrClosed
+	}
+	d.pending[x] = ch
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, x)
+		d.mu.Unlock()
+	}()
+	if err := d.conn.Send(m); err != nil {
+		return err
+	}
+	if err := d.Barrier(); err != nil {
+		return err
+	}
+	select {
+	case reply := <-ch:
+		if reply.Type == southbound.TypeError {
+			if e, ok := reply.Body.(southbound.Error); ok {
+				return fmt.Errorf("core: device %s refused modification: %s (code %d)", d.id, e.Message, e.Code)
+			}
+			return fmt.Errorf("core: device %s refused modification", d.id)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// EmitDiscovery implements Device: the frame rides a Packet-Out across the
+// port's link and returns to the control plane on the far side.
+func (d *ConnDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error {
+	return d.conn.Send(southbound.Msg{Type: southbound.TypePacketOut,
+		Body: southbound.PacketOut{OutPort: port, Control: f}})
+}
+
+// Barrier fences all previously sent modifications.
+func (d *ConnDevice) Barrier() error {
+	_, err := d.request(southbound.Msg{Type: southbound.TypeBarrierRequest, Body: southbound.Barrier{}})
+	return err
+}
+
+// SetRole requests a controller role on the device (§5.3.2's
+// OFPCR_ROLE_EQUAL dance during region handover).
+func (d *ConnDevice) SetRole(controller string, role southbound.Role) (southbound.Role, error) {
+	reply, err := d.request(southbound.Msg{Type: southbound.TypeRoleRequest,
+		Body: southbound.RoleRequest{Controller: controller, Role: role}})
+	if err != nil {
+		return 0, err
+	}
+	rr, ok := reply.Body.(southbound.RoleReply)
+	if !ok {
+		return 0, fmt.Errorf("core: malformed role reply %T", reply.Body)
+	}
+	return rr.Role, nil
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataplane"
+	"repro/internal/discovery"
+	"repro/internal/southbound"
+)
+
+// Device is a controller's handle on one of its data-plane devices: a
+// physical switch at the leaf level, a child-exposed gigantic switch above
+// (§3.3: "NOS communicates with switches (logical or physical) using a
+// southbound API"). The prototype matches the paper's: "Leaf controllers
+// use the OpenFlow protocol to communicate with switches while other
+// controllers interact with logical data plane elements through a custom
+// API similar to OpenFlow" (§7.1).
+type Device interface {
+	// ID returns the device's data-plane identifier.
+	ID() dataplane.DeviceID
+	// Features returns the device description (ports, kind, and the
+	// virtual fabric for G-switches).
+	Features() southbound.FeatureReply
+	// InstallRule installs one flow rule. On a G-switch this triggers the
+	// child controller's recursive translation (§4.3).
+	InstallRule(r dataplane.Rule) error
+	// RemoveRules removes all rules installed under an owner tag,
+	// recursively for G-switches.
+	RemoveRules(owner string) error
+	// RemoveRulesBefore removes an owner's rules older than version —
+	// the cleanup step of a consistent path update (§6).
+	RemoveRulesBefore(owner string, version int) error
+	// EmitDiscovery sends a link-discovery frame out of a port (§4.1.2).
+	EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error
+}
+
+// SwitchDevice adapts a physical dataplane switch for direct in-process
+// control. It installs itself as the switch's controller hook so punted
+// packets and port events reach the owning controller.
+type SwitchDevice struct {
+	net *dataplane.Network
+	sw  *dataplane.Switch
+
+	mu   sync.Mutex
+	ctrl *Controller
+}
+
+// NewSwitchDevice wraps a switch and registers the event hook.
+func NewSwitchDevice(net *dataplane.Network, sw *dataplane.Switch) *SwitchDevice {
+	d := &SwitchDevice{net: net, sw: sw}
+	sw.SetHook(d)
+	return d
+}
+
+// Switch exposes the underlying switch (tests, reconfiguration).
+func (d *SwitchDevice) Switch() *dataplane.Switch { return d.sw }
+
+func (d *SwitchDevice) setController(c *Controller) {
+	d.mu.Lock()
+	d.ctrl = c
+	d.mu.Unlock()
+}
+
+func (d *SwitchDevice) controller() *Controller {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ctrl
+}
+
+// ID implements Device.
+func (d *SwitchDevice) ID() dataplane.DeviceID { return d.sw.ID }
+
+// Features implements Device.
+func (d *SwitchDevice) Features() southbound.FeatureReply {
+	return southbound.BuildFeatures(d.sw)
+}
+
+// InstallRule implements Device, taking any bandwidth reservation the
+// rule's Demand requires (admission control, §3.2).
+func (d *SwitchDevice) InstallRule(r dataplane.Rule) error {
+	return d.net.InstallRule(d.sw.ID, r)
+}
+
+// RemoveRules implements Device, releasing reservations.
+func (d *SwitchDevice) RemoveRules(owner string) error {
+	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool { return r.Owner == owner })
+	return nil
+}
+
+// RemoveRulesBefore implements Device.
+func (d *SwitchDevice) RemoveRulesBefore(owner string, version int) error {
+	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool {
+		return r.Owner == owner && r.Version < version
+	})
+	return nil
+}
+
+// EmitDiscovery implements Device: the frame crosses the physical link (if
+// any) and arrives at the far switch's controller, exactly like an LLDP
+// packet-out (§4.1.2). The link's properties fill the frame's meta field.
+func (d *SwitchDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error {
+	p := d.sw.PortByID(port)
+	if p == nil {
+		return fmt.Errorf("core: %s has no port %d", d.sw.ID, port)
+	}
+	if p.External || p.Radio != "" || p.Link == nil || !p.Link.Up() {
+		return nil // frames die on external, radio, and down ports
+	}
+	far, ok := p.Link.Other(d.sw.ID)
+	if !ok {
+		return nil
+	}
+	farSw := d.net.Switch(far.Dev)
+	if farSw == nil {
+		return nil
+	}
+	f.Meta = discovery.LinkMeta{Latency: p.Link.Latency, Bandwidth: p.Link.Available()}
+	hook := farSw.Hook()
+	if hook == nil {
+		return nil
+	}
+	if fd, ok := hook.(*SwitchDevice); ok {
+		if c := fd.controller(); c != nil {
+			c.HandleDiscoveryArrival(far.Dev, far.Port, f)
+		}
+	}
+	return nil
+}
+
+// PacketIn implements dataplane.ControllerHook: punted data packets become
+// Packet-In events at the owning controller.
+func (d *SwitchDevice) PacketIn(sw dataplane.DeviceID, inPort dataplane.PortID, p *dataplane.Packet) {
+	if c := d.controller(); c != nil {
+		c.HandlePacketIn(sw, inPort, p)
+	}
+}
+
+// PortStatus implements dataplane.ControllerHook.
+func (d *SwitchDevice) PortStatus(sw dataplane.DeviceID, port dataplane.PortID, up bool) {
+	if c := d.controller(); c != nil {
+		c.HandlePortStatus(sw, port, up)
+	}
+}
+
+// logicalDevice is a parent controller's handle on a child-exposed
+// G-switch: the "custom API similar to OpenFlow" of §7.1. Every call
+// delegates to the child controller's RecA.
+type logicalDevice struct {
+	child *Controller
+}
+
+// ID implements Device.
+func (d *logicalDevice) ID() dataplane.DeviceID { return d.child.GSwitchID() }
+
+// Features implements Device.
+func (d *logicalDevice) Features() southbound.FeatureReply {
+	return d.child.RecAFeatures()
+}
+
+// InstallRule implements Device: the child translates the virtual rule
+// onto its own (physical or logical) topology (§4.3).
+func (d *logicalDevice) InstallRule(r dataplane.Rule) error {
+	return d.child.TranslateRule(r)
+}
+
+// RemoveRules implements Device: recursive removal by owner tag.
+func (d *logicalDevice) RemoveRules(owner string) error {
+	return d.child.RemoveTranslated(owner)
+}
+
+// RemoveRulesBefore implements Device: recursive version-scoped removal.
+func (d *logicalDevice) RemoveRulesBefore(owner string, version int) error {
+	return d.child.RemoveTranslatedBefore(owner, version)
+}
+
+// EmitDiscovery implements Device: the child maps the G-switch port to its
+// underlying attachment, pushes its own stack entry and recurses (§4.1.2).
+func (d *logicalDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error {
+	return d.child.RecAEmitDiscovery(port, f)
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/routing"
+)
+
+// The mobility application (§5) implements UE bearer management and
+// handovers on top of the NOS northbound API. It maintains the two §5.1
+// tables: the UE table (bearer request → local path ID) and the path table
+// (held by the controller's path records).
+
+// BearerRequest is the §5.1 "(UE ID, BS ID, SRC IP, DST IP, REQ)" tuple.
+type BearerRequest struct {
+	UE     string
+	BS     dataplane.DeviceID
+	SrcIP  string
+	Prefix interdomain.PrefixID
+	QoS    int
+	// Constraints carries the REQ QoS bounds.
+	Constraints  routing.Constraints
+	MaxTotalHops int
+	Objective    routing.Objective
+}
+
+// UERecord is one UE table row.
+type UERecord struct {
+	UE     string
+	BS     dataplane.DeviceID
+	Group  dataplane.DeviceID
+	Prefix interdomain.PrefixID
+	QoS    int
+	// PathID is the path at the resolving controller.
+	PathID PathID
+	// HandledBy is the controller that computed and owns the path (§5.1:
+	// "whether the UE request has been handled locally or by the parent").
+	HandledBy *Controller
+	Active    bool
+}
+
+type ueState struct {
+	mu    sync.Mutex
+	table map[string]*UERecord
+	// bsGroup maps base stations to their BS group.
+	bsGroup map[dataplane.DeviceID]dataplane.DeviceID
+	// groupAttach maps BS groups to their radio attachment port.
+	groupAttach map[dataplane.DeviceID]dataplane.PortRef
+}
+
+func newUEState() *ueState {
+	return &ueState{
+		table:       make(map[string]*UERecord),
+		bsGroup:     make(map[dataplane.DeviceID]dataplane.DeviceID),
+		groupAttach: make(map[dataplane.DeviceID]dataplane.PortRef),
+	}
+}
+
+// SetRadioIndex installs the BS→group and group→attachment maps the
+// mobility application needs (management-plane configuration).
+func (c *Controller) SetRadioIndex(bsGroup map[dataplane.DeviceID]dataplane.DeviceID, groupAttach map[dataplane.DeviceID]dataplane.PortRef) {
+	c.ue.mu.Lock()
+	defer c.ue.mu.Unlock()
+	for k, v := range bsGroup {
+		c.ue.bsGroup[k] = v
+	}
+	for k, v := range groupAttach {
+		c.ue.groupAttach[k] = v
+	}
+}
+
+// GroupOfBS resolves a base station's BS group.
+func (c *Controller) GroupOfBS(bs dataplane.DeviceID) (dataplane.DeviceID, bool) {
+	c.ue.mu.Lock()
+	defer c.ue.mu.Unlock()
+	g, ok := c.ue.bsGroup[bs]
+	return g, ok
+}
+
+// AttachOfGroup resolves a BS group's radio attachment.
+func (c *Controller) AttachOfGroup(g dataplane.DeviceID) (dataplane.PortRef, bool) {
+	c.ue.mu.Lock()
+	defer c.ue.mu.Unlock()
+	ref, ok := c.ue.groupAttach[g]
+	return ref, ok
+}
+
+// UE returns a UE table row.
+func (c *Controller) UE(ue string) (UERecord, bool) {
+	c.ue.mu.Lock()
+	defer c.ue.mu.Unlock()
+	r, ok := c.ue.table[ue]
+	if !ok {
+		return UERecord{}, false
+	}
+	return *r, true
+}
+
+// ErrUnknownBS is returned for bearer requests from unconfigured base
+// stations.
+var ErrUnknownBS = errors.New("core: unknown base station")
+
+// HandleBearerRequest processes a UE bearer request at a leaf controller
+// (§5.1): route locally, delegating to ancestors when the local region
+// cannot satisfy the QoS, then implement the path and record it.
+func (c *Controller) HandleBearerRequest(req BearerRequest) (*UERecord, error) {
+	group, ok := c.GroupOfBS(req.BS)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownBS, req.BS)
+	}
+	attach, ok := c.AttachOfGroup(group)
+	if !ok {
+		return nil, fmt.Errorf("core: group %s has no attachment", group)
+	}
+	res, err := c.RouteRecursive(RouteRequest{
+		From:         attach,
+		Prefix:       req.Prefix,
+		Objective:    req.Objective,
+		Constraints:  req.Constraints,
+		MaxTotalHops: req.MaxTotalHops,
+	})
+	if err != nil {
+		return nil, err
+	}
+	match := dataplane.Match{
+		InPort: dataplane.PortAny, UE: req.UE, SrcIP: req.SrcIP,
+		DstPrefix: string(req.Prefix), QoS: req.QoS,
+	}
+	pathID, err := res.ResolvedBy.SetupPathWithDemand(match, res.Path, req.Constraints.MinBandwidth)
+	if err != nil {
+		return nil, err
+	}
+	rec := &UERecord{
+		UE: req.UE, BS: req.BS, Group: group, Prefix: req.Prefix, QoS: req.QoS,
+		PathID: pathID, HandledBy: res.ResolvedBy, Active: true,
+	}
+	c.ue.mu.Lock()
+	c.ue.table[req.UE] = rec
+	c.ue.mu.Unlock()
+	c.mu.Lock()
+	c.stats.BearersHandled++
+	c.mu.Unlock()
+	out := *rec
+	return &out, nil
+}
+
+// DeactivateBearer tears down a UE's path when it goes idle (§5.1: "If the
+// UE bearer has been handled by the parent controller, the mobility
+// application continues to request bearer deactivation from its parent via
+// RecA").
+func (c *Controller) DeactivateBearer(ue string) error {
+	c.ue.mu.Lock()
+	rec, ok := c.ue.table[ue]
+	if ok {
+		rec.Active = false
+	}
+	c.ue.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown UE %s", ue)
+	}
+	return rec.HandledBy.TeardownPath(rec.PathID)
+}
+
+// HandoverRequest is the §5.2 inter-region handover request: "contains at
+// least source and target G-BS IDs and BS IDs".
+type HandoverRequest struct {
+	UE        string
+	SrcGBS    dataplane.DeviceID
+	SrcBS     dataplane.DeviceID
+	DstGBS    dataplane.DeviceID
+	DstBS     dataplane.DeviceID
+	Prefix    interdomain.PrefixID
+	QoS       int
+	Objective routing.Objective
+}
+
+// Handover moves a UE between base stations. When both stations are in
+// this leaf's region the intra-region procedure applies; otherwise the
+// request ascends to the lowest ancestor controlling both G-BSes (§5.2).
+func (c *Controller) Handover(ue string, dstGBS, dstBS dataplane.DeviceID) error {
+	c.ue.mu.Lock()
+	rec, ok := c.ue.table[ue]
+	c.ue.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown UE %s", ue)
+	}
+	if dstGroup, local := c.GroupOfBS(dstBS); local {
+		// Intra-region handover: recompute the path from the new group.
+		if rec.Active {
+			if err := rec.HandledBy.TeardownPath(rec.PathID); err != nil {
+				return err
+			}
+		}
+		newRec, err := c.HandleBearerRequest(BearerRequest{
+			UE: ue, BS: dstBS, Prefix: rec.Prefix, QoS: rec.QoS,
+		})
+		if err != nil {
+			return err
+		}
+		_ = dstGroup
+		_ = newRec
+		c.mu.Lock()
+		c.stats.HandoversHandled++
+		c.mu.Unlock()
+		return nil
+	}
+	// Inter-region: find this UE's source G-BS and ascend.
+	srcGBS, ok := c.gbsOfGroup(rec.Group)
+	if !ok {
+		return fmt.Errorf("core: group %s has no exposed G-BS", rec.Group)
+	}
+	parent := c.Parent()
+	if parent == nil {
+		return fmt.Errorf("core: no ancestor for inter-region handover of %s", ue)
+	}
+	req := HandoverRequest{
+		UE: ue, SrcGBS: srcGBS, SrcBS: rec.BS, DstGBS: dstGBS, DstBS: dstBS,
+		Prefix: rec.Prefix, QoS: rec.QoS,
+	}
+	newPath, handledBy, err := parent.handleInterRegionHandover(req)
+	if err != nil {
+		return err
+	}
+	// Release the old path and update the UE record (§5.2: "Once the
+	// handover finishes, the root asks G-BS1 to release the resources. It
+	// then removes old paths").
+	if rec.Active {
+		_ = rec.HandledBy.TeardownPath(rec.PathID)
+	}
+	c.ue.mu.Lock()
+	rec.BS = dstBS
+	rec.Group = "" // now controlled by the target leaf
+	rec.PathID = newPath
+	rec.HandledBy = handledBy
+	c.ue.mu.Unlock()
+	c.mu.Lock()
+	c.stats.HandoversHandled++
+	c.mu.Unlock()
+	return nil
+}
+
+// gbsOfGroup maps a local BS group to the G-BS exposing it.
+func (c *Controller) gbsOfGroup(group dataplane.DeviceID) (dataplane.DeviceID, bool) {
+	ab := c.Abstraction()
+	if ab == nil {
+		return "", false
+	}
+	for _, g := range ab.GBSes {
+		for _, member := range g.Groups {
+			if member == group {
+				return g.ID, true
+			}
+		}
+	}
+	return "", false
+}
+
+// handleInterRegionHandover runs the §5.2 ancestor procedure: if this
+// controller sees both G-BSes it implements the new path (and a transfer
+// path for in-flight packets); otherwise it delegates upward.
+func (c *Controller) handleInterRegionHandover(req HandoverRequest) (PathID, *Controller, error) {
+	srcPort, srcOK := c.findGBSPort(req.SrcGBS)
+	dstPort, dstOK := c.findGBSPort(req.DstGBS)
+	if !srcOK || !dstOK {
+		parent := c.Parent()
+		if parent == nil {
+			return 0, nil, fmt.Errorf("core: no common ancestor for %s -> %s", req.SrcGBS, req.DstGBS)
+		}
+		c.mu.Lock()
+		c.stats.DelegatedRequests++
+		c.mu.Unlock()
+		return parent.handleInterRegionHandover(req)
+	}
+
+	// New egress path for the UE from the target G-BS.
+	res, err := c.Route(RouteRequest{From: dstPort, Prefix: req.Prefix, Objective: req.Objective})
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: handover path for %s: %w", req.UE, err)
+	}
+	match := dataplane.Match{InPort: dataplane.PortAny, UE: req.UE, DstPrefix: string(req.Prefix), QoS: req.QoS}
+	pathID, err := c.SetupPath(match, res.Path)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Transfer path from source to target G-BS for in-flight downlink
+	// packets (§5.2: "implements a new path between G-BS1 and G-BS2 to
+	// transfer in-flight packets"). Best-effort: a missing path (e.g.
+	// detached regions) does not fail the handover.
+	g := c.Graph()
+	if tp, err := g.ShortestPath(srcPort, dstPort, routing.MinHops, routing.Constraints{}); err == nil {
+		transferMatch := dataplane.Match{InPort: dataplane.PortAny, UE: req.UE, QoS: -1}
+		if tid, err := c.SetupPath(transferMatch, tp); err == nil {
+			// In-flight transfer paths are short-lived; tear down
+			// immediately after the switchover in this synchronous model.
+			_ = c.TeardownPath(tid)
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.InterRegionHandovers++
+	c.mu.Unlock()
+	return pathID, c, nil
+}
+
+// findGBSPort locates the port (on a child G-switch in this controller's
+// topology) attaching the named G-BS.
+func (c *Controller) findGBSPort(gbs dataplane.DeviceID) (dataplane.PortRef, bool) {
+	for _, d := range c.NIB.Devices(dataplane.KindGSwitch) {
+		for _, p := range d.Ports {
+			if p.Radio == gbs {
+				return dataplane.PortRef{Dev: d.ID, Port: p.ID}, true
+			}
+		}
+	}
+	// Leaf level: the G-BS may be a local group exposed by this controller
+	// itself.
+	c.ue.mu.Lock()
+	ref, ok := c.ue.groupAttach[gbs]
+	c.ue.mu.Unlock()
+	if ok {
+		return ref, true
+	}
+	return dataplane.PortRef{}, false
+}

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/pathimpl"
+	"repro/internal/routing"
+)
+
+// PathID identifies an installed path at the controller that set it up.
+type PathID int
+
+// PathRecord is the path-table entry the mobility application caches
+// (§5.1).
+type PathRecord struct {
+	ID      PathID
+	Owner   string
+	Match   dataplane.Match
+	Cost    routing.Cost
+	Devices []dataplane.DeviceID
+	Active  bool
+	Version int
+
+	// lastPath is the currently installed route, kept for reroute
+	// rollback (nil for policy paths).
+	lastPath *routing.Path
+	// demand is the bandwidth reservation the path carries.
+	demand float64
+}
+
+// ErrEmptyPath is returned for a path with no segments.
+var ErrEmptyPath = errors.New("core: empty path")
+
+// translationKind classifies a virtual rule for recursive translation.
+type translationKind int
+
+const (
+	// kindClassify starts a path at a flow-classification point (a G-BS /
+	// access switch).
+	kindClassify translationKind = iota
+	// kindTransit carries an ancestor's label across the region.
+	kindTransit
+	// kindTerminal ends the ancestor's path: labels pop before the final
+	// output (an Internet egress or radio delivery).
+	kindTerminal
+)
+
+// ruleCtx is the label context of one translated path installation.
+type ruleCtx struct {
+	kind translationKind
+	// match is the flow match for classification rules.
+	match dataplane.Match
+	// labelIn is the ancestor label on packets entering the region
+	// (transit/terminal).
+	labelIn dataplane.Label
+	// labelOut is the label packets must carry when leaving the region
+	// (swap mode; NoLabel = leave unlabeled).
+	labelOut dataplane.Label
+	// pushChain lists ancestor labels to push at classification in stack
+	// mode, bottom first (§4.3: "push the stack [R P]").
+	pushChain []dataplane.Label
+	// parentPops is the number of ancestor labels a terminal rule pops in
+	// stack mode.
+	parentPops int
+	// demand is the bandwidth reservation (Mbps) each installed rule
+	// carries (0 = best-effort).
+	demand float64
+}
+
+// SetupPath implements the northbound PathSetup(match fields, path) API
+// (§4.3): it installs an end-to-end path in this controller's topology.
+// Rules on gigantic switches translate recursively in the children; every
+// physical packet carries at most one label under ModeSwap.
+func (c *Controller) SetupPath(match dataplane.Match, path *routing.Path) (PathID, error) {
+	return c.SetupPathWithDemand(match, path, 0)
+}
+
+// SetupPathWithDemand installs a path whose rules reserve demandMbps on
+// every traversed link (admission control against the §3.2 bandwidth
+// metrics). Installation fails, with full rollback, when any link cannot
+// admit the demand.
+func (c *Controller) SetupPathWithDemand(match dataplane.Match, path *routing.Path, demandMbps float64) (PathID, error) {
+	c.mu.Lock()
+	c.nextPath++
+	id := c.nextPath
+	version := c.versions.Next()
+	owner := fmt.Sprintf("%s/p%d", c.ID, id)
+	c.mu.Unlock()
+
+	ctx := ruleCtx{kind: kindClassify, match: match, demand: demandMbps}
+	if err := c.installPathRules(ctx, path, owner, version); err != nil {
+		for _, d := range c.Devices() {
+			_ = d.RemoveRules(owner)
+		}
+		return 0, err
+	}
+	rec := &PathRecord{
+		ID: id, Owner: owner, Match: match, Cost: path.Cost,
+		Devices: path.Devices(), Active: true, Version: version,
+		lastPath: path, demand: demandMbps,
+	}
+	c.mu.Lock()
+	c.paths[id] = rec
+	c.mu.Unlock()
+	return id, nil
+}
+
+// Path returns a path record.
+func (c *Controller) Path(id PathID) (PathRecord, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.paths[id]
+	if !ok {
+		return PathRecord{}, false
+	}
+	return *r, true
+}
+
+// NumPaths reports active path count.
+func (c *Controller) NumPaths() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, r := range c.paths {
+		if r.Active {
+			n++
+		}
+	}
+	return n
+}
+
+// TeardownPath removes a path's rules everywhere (recursively through
+// children) and deactivates the record (§5.1 deactivatePath).
+func (c *Controller) TeardownPath(id PathID) error {
+	c.mu.Lock()
+	rec, ok := c.paths[id]
+	if ok {
+		rec.Active = false
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown path %d", id)
+	}
+	for _, devID := range rec.Devices {
+		if d := c.Device(devID); d != nil {
+			_ = d.RemoveRules(rec.Owner)
+		}
+	}
+	return nil
+}
+
+// PrepareReroute installs a new version of an active path alongside the
+// old one (§6 consistent path setup: "the new path and packets are
+// assigned a new version number"). New classification rules carry a higher
+// priority, so new packets take the new path immediately, while "packets
+// with the old version number can still use old rules to guarantee
+// reachability". Call CommitReroute to retire the old version.
+func (c *Controller) PrepareReroute(id PathID, newPath *routing.Path) error {
+	c.mu.Lock()
+	rec, ok := c.paths[id]
+	if !ok || !rec.Active {
+		c.mu.Unlock()
+		return fmt.Errorf("core: path %d not active", id)
+	}
+	match := rec.Match
+	owner := rec.Owner
+	demand := rec.demand
+	version := c.versions.Next()
+	c.mu.Unlock()
+
+	ctx := ruleCtx{kind: kindClassify, match: match, demand: demand}
+	if err := c.installPathRules(ctx, newPath, owner, version); err != nil {
+		// §6: on inconsistency, recompute — drop everything under the
+		// owner and reinstall the previous route under a fresh version.
+		for _, d := range c.Devices() {
+			_ = d.RemoveRules(owner)
+		}
+		c.mu.Lock()
+		old := rec.lastPath
+		c.mu.Unlock()
+		if old != nil {
+			v2 := c.versions.Next()
+			if rerr := c.installPathRules(ruleCtx{kind: kindClassify, match: match, demand: demand}, old, owner, v2); rerr == nil {
+				c.mu.Lock()
+				rec.Version = v2
+				c.mu.Unlock()
+			} else {
+				c.mu.Lock()
+				rec.Active = false
+				c.mu.Unlock()
+			}
+		} else {
+			c.mu.Lock()
+			rec.Active = false
+			c.mu.Unlock()
+		}
+		return err
+	}
+	c.mu.Lock()
+	rec.Version = version
+	rec.Cost = newPath.Cost
+	rec.Devices = dedupeDevices(append(rec.Devices, newPath.Devices()...))
+	rec.lastPath = newPath
+	c.mu.Unlock()
+	return nil
+}
+
+// CommitReroute removes the pre-update rule versions of a path, completing
+// a consistent update.
+func (c *Controller) CommitReroute(id PathID) error {
+	c.mu.Lock()
+	rec, ok := c.paths[id]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown path %d", id)
+	}
+	for _, devID := range rec.Devices {
+		if d := c.Device(devID); d != nil {
+			_ = d.RemoveRulesBefore(rec.Owner, rec.Version)
+		}
+	}
+	return nil
+}
+
+// ReroutePath performs a full consistent update: make-before-break with
+// versioned rules.
+func (c *Controller) ReroutePath(id PathID, newPath *routing.Path) error {
+	if err := c.PrepareReroute(id, newPath); err != nil {
+		return err
+	}
+	return c.CommitReroute(id)
+}
+
+// TranslateRule is the RecA agent's entry point for virtual rules pushed
+// by the parent onto this controller's exposed G-switch (§4.3): the rule
+// is mapped onto internal paths between the referenced ports and installed
+// recursively.
+func (c *Controller) TranslateRule(r dataplane.Rule) error {
+	c.mu.Lock()
+	c.stats.RulesTranslated++
+	c.mu.Unlock()
+	ab := c.Abstraction()
+	if ab == nil {
+		return fmt.Errorf("core: %s: no abstraction for translation", c.ID)
+	}
+
+	dec := decodeActions(r.Actions)
+	if !dec.hasOut {
+		return fmt.Errorf("core: %s: virtual rule without output: %v", c.ID, &r)
+	}
+	outGp := ab.GSwitch.PortByID(dec.out)
+	if outGp == nil {
+		return fmt.Errorf("core: %s: virtual rule outputs to unknown port %d", c.ID, dec.out)
+	}
+	dst := outGp.Underlying
+	g := c.Graph()
+
+	if r.Match.MatchNoLabel {
+		// Classification: fan out to the constituent attachments of the
+		// G-BS referenced by the match's in-port (§4.3: installed "into
+		// constituent access switches, each attached to a component
+		// G-BS").
+		srcs, err := c.classificationSources(r.Match.InPort)
+		if err != nil {
+			return err
+		}
+		ctx := ruleCtx{kind: kindClassify, pushChain: dec.pushes, demand: r.Demand}
+		if n := len(dec.pushes); n > 0 {
+			ctx.labelOut = dec.pushes[n-1]
+		}
+		for _, src := range srcs {
+			p, err := g.ShortestPath(src, dst, routing.MinHops, routing.Constraints{})
+			if err != nil {
+				return fmt.Errorf("core: %s: no internal path %v->%v: %w", c.ID, src, dst, err)
+			}
+			ctx.match = r.Match
+			ctx.match.InPort = src.Port
+			if err := c.installPathRules(ctx, p, r.Owner, r.Version); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if !r.Match.HasLabel {
+		return fmt.Errorf("core: %s: virtual rule matches neither label nor flow: %v", c.ID, &r)
+	}
+	inGp := ab.GSwitch.PortByID(r.Match.InPort)
+	if inGp == nil {
+		return fmt.Errorf("core: %s: virtual rule from unknown port %d", c.ID, r.Match.InPort)
+	}
+	p, err := g.ShortestPath(inGp.Underlying, dst, routing.MinHops, routing.Constraints{})
+	if err != nil {
+		return fmt.Errorf("core: %s: no internal path %v->%v: %w", c.ID, inGp.Underlying, dst, err)
+	}
+
+	ctx := ruleCtx{labelIn: r.Match.Label, demand: r.Demand}
+	switch {
+	case dec.hasSwap:
+		// Swap-mode region egress rule: carry labelIn across, leave with
+		// the swapped-to label.
+		ctx.kind = kindTransit
+		ctx.labelOut = dec.swapTo
+	case dec.pops > 0:
+		ctx.kind = kindTerminal
+		ctx.parentPops = dec.pops
+	default:
+		ctx.kind = kindTransit
+		ctx.labelOut = r.Match.Label
+	}
+	return c.installPathRules(ctx, p, r.Owner, r.Version)
+}
+
+// RemoveTranslated removes, recursively, all rules installed under an
+// owner tag.
+func (c *Controller) RemoveTranslated(owner string) error {
+	for _, d := range c.Devices() {
+		_ = d.RemoveRules(owner)
+	}
+	return nil
+}
+
+// RemoveTranslatedBefore removes, recursively, an owner's rules older than
+// version (§6 consistent updates).
+func (c *Controller) RemoveTranslatedBefore(owner string, version int) error {
+	for _, d := range c.Devices() {
+		_ = d.RemoveRulesBefore(owner, version)
+	}
+	return nil
+}
+
+// classificationSources resolves a G-BS attach port to the underlying
+// attachment points where classification rules must be installed.
+func (c *Controller) classificationSources(gport dataplane.PortID) ([]dataplane.PortRef, error) {
+	ab := c.Abstraction()
+	gp := ab.GSwitch.PortByID(gport)
+	if gp == nil || gp.GBS == "" {
+		return nil, fmt.Errorf("core: %s: classification in-port %d is not a G-BS attachment", c.ID, gport)
+	}
+	var gbs *dataplane.GBSInfo
+	for i := range ab.GBSes {
+		if ab.GBSes[i].ID == gp.GBS {
+			gbs = &ab.GBSes[i]
+			break
+		}
+	}
+	if gbs == nil {
+		return nil, fmt.Errorf("core: %s: unknown G-BS %s", c.ID, gp.GBS)
+	}
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	if gbs.Border {
+		for _, r := range cfg.Radios {
+			if r.ID == gbs.ID {
+				return []dataplane.PortRef{r.Attach}, nil
+			}
+		}
+		return nil, fmt.Errorf("core: %s: border G-BS %s has no attachment", c.ID, gbs.ID)
+	}
+	// Aggregated internal G-BS: classify at every internal attachment.
+	var out []dataplane.PortRef
+	for _, r := range cfg.Radios {
+		if !r.Border {
+			out = append(out, r.Attach)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: %s: internal G-BS %s has no attachments", c.ID, gbs.ID)
+	}
+	return out, nil
+}
+
+// decoded is the action summary of a virtual rule.
+type decoded struct {
+	out    dataplane.PortID
+	hasOut bool
+	pops   int
+	pushes []dataplane.Label
+	swapTo dataplane.Label
+	hasSwap bool
+}
+
+func decodeActions(actions []dataplane.Action) decoded {
+	var d decoded
+	for _, a := range actions {
+		switch a.Op {
+		case dataplane.OpPopLabel:
+			d.pops++
+		case dataplane.OpPushLabel:
+			d.pushes = append(d.pushes, a.Label)
+		case dataplane.OpSwapLabel:
+			d.swapTo = a.Label
+			d.hasSwap = true
+		case dataplane.OpOutput:
+			d.out = a.Port
+			d.hasOut = true
+			return d
+		}
+	}
+	return d
+}
+
+// installPathRules installs one path in this controller's topology under a
+// label context. Rules landing on G-switch devices recurse into children.
+func (c *Controller) installPathRules(ctx ruleCtx, path *routing.Path, owner string, version int) error {
+	segs := path.Segments()
+	if len(segs) == 0 {
+		return ErrEmptyPath
+	}
+	install := func(devID dataplane.DeviceID, rule dataplane.Rule) error {
+		d := c.Device(devID)
+		if d == nil {
+			return fmt.Errorf("core: %s: path device %s not attached", c.ID, devID)
+		}
+		rule.Owner = owner
+		rule.Version = version
+		rule.Demand = ctx.demand
+		c.mu.Lock()
+		c.stats.RulesInstalled++
+		c.mu.Unlock()
+		return d.InstallRule(rule)
+	}
+
+	stack := c.Mode == pathimpl.ModeStack
+
+	if len(segs) == 1 {
+		seg := segs[0]
+		var rule dataplane.Rule
+		switch ctx.kind {
+		case kindClassify:
+			m := ctx.match
+			m.MatchNoLabel = true
+			m.HasLabel = false
+			m.InPort = seg.InPort
+			var actions []dataplane.Action
+			if stack {
+				for _, l := range ctx.pushChain {
+					actions = append(actions, dataplane.Push(l))
+				}
+			} else if ctx.labelOut != dataplane.NoLabel {
+				actions = append(actions, dataplane.Push(ctx.labelOut))
+			}
+			actions = append(actions, dataplane.Output(seg.OutPort))
+			rule = dataplane.Rule{Priority: 100 + version, Match: m, Actions: actions}
+		case kindTransit:
+			m := dataplane.Match{InPort: seg.InPort, HasLabel: true, Label: ctx.labelIn, QoS: -1}
+			var actions []dataplane.Action
+			if !stack && ctx.labelOut != ctx.labelIn && ctx.labelOut != dataplane.NoLabel {
+				actions = append(actions, dataplane.Swap(ctx.labelOut))
+			}
+			actions = append(actions, dataplane.Output(seg.OutPort))
+			rule = dataplane.Rule{Priority: 60, Match: m, Actions: actions}
+		case kindTerminal:
+			pops := ctx.parentPops
+			if pops == 0 {
+				pops = 1
+			}
+			actions := make([]dataplane.Action, 0, pops+1)
+			for i := 0; i < pops; i++ {
+				actions = append(actions, dataplane.Pop())
+			}
+			actions = append(actions, dataplane.Output(seg.OutPort))
+			rule = dataplane.Rule{
+				Priority: 60,
+				Match:    dataplane.Match{InPort: seg.InPort, HasLabel: true, Label: ctx.labelIn, QoS: -1},
+				Actions:  actions,
+			}
+		}
+		return install(seg.Dev, rule)
+	}
+
+	local := c.alloc.Next()
+	first, last := segs[0], segs[len(segs)-1]
+
+	// Ingress.
+	switch ctx.kind {
+	case kindClassify:
+		m := ctx.match
+		m.MatchNoLabel = true
+		m.HasLabel = false
+		m.InPort = first.InPort
+		var actions []dataplane.Action
+		if stack {
+			for _, l := range ctx.pushChain {
+				actions = append(actions, dataplane.Push(l))
+			}
+		}
+		actions = append(actions, dataplane.Push(local), dataplane.Output(first.OutPort))
+		if err := install(first.Dev, dataplane.Rule{Priority: 100 + version, Match: m, Actions: actions}); err != nil {
+			return err
+		}
+	default:
+		mode := pathimpl.ModeSwap
+		if stack {
+			mode = pathimpl.ModeStack
+		}
+		if err := install(first.Dev, pathimpl.IngressRule(mode, ctx.labelIn, local, first.InPort, first.OutPort, owner, version)); err != nil {
+			return err
+		}
+	}
+
+	// Transit middles.
+	for _, seg := range segs[1 : len(segs)-1] {
+		if err := install(seg.Dev, pathimpl.TransitRule(local, seg.InPort, seg.OutPort, owner, version)); err != nil {
+			return err
+		}
+	}
+
+	// Egress.
+	var actions []dataplane.Action
+	switch ctx.kind {
+	case kindTerminal:
+		pops := 1
+		if stack {
+			pops += ctx.parentPops
+		}
+		actions = make([]dataplane.Action, 0, pops+1)
+		for i := 0; i < pops; i++ {
+			actions = append(actions, dataplane.Pop())
+		}
+		actions = append(actions, dataplane.Output(last.OutPort))
+	default: // classify and transit share egress shape
+		if stack || ctx.labelOut == dataplane.NoLabel {
+			actions = []dataplane.Action{dataplane.Pop(), dataplane.Output(last.OutPort)}
+		} else {
+			actions = []dataplane.Action{dataplane.Swap(ctx.labelOut), dataplane.Output(last.OutPort)}
+		}
+	}
+	return install(last.Dev, dataplane.Rule{
+		Priority: 60,
+		Match:    dataplane.Match{InPort: last.InPort, HasLabel: true, Label: local, QoS: -1},
+		Actions:  actions,
+	})
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/reca"
+	"repro/internal/southbound"
+)
+
+// ComputeAbstraction runs RecA's topology abstraction (§4.1.3): the
+// controller collapses its discovered topology into one G-switch with a
+// virtual fabric, G-BSes (border ones one-to-one), and per-type
+// G-middleboxes, ready to expose to the parent.
+func (c *Controller) ComputeAbstraction() *reca.Abstraction {
+	c.mu.Lock()
+	cfg := c.cfg
+	c.mu.Unlock()
+	ab := reca.Compute(c.ID, c.NIB, cfg)
+	c.mu.Lock()
+	c.abstraction = &ab
+	c.stats.Reabstractions++
+	c.mu.Unlock()
+	return &ab
+}
+
+// Abstraction returns the last computed abstraction, or nil.
+func (c *Controller) Abstraction() *reca.Abstraction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.abstraction
+}
+
+// RecAFeatures builds the feature reply the controller's RecA agent
+// answers to its parent's feature request — the G-switch with its virtual
+// fabric and attached logical devices (§3.3).
+func (c *Controller) RecAFeatures() southbound.FeatureReply {
+	ab := c.Abstraction()
+	if ab == nil {
+		ab = c.ComputeAbstraction()
+	}
+	fr := southbound.FeatureReply{
+		Device: ab.GSwitch.ID,
+		Kind:   dataplane.KindGSwitch,
+		Fabric: ab.GSwitch.Fabric,
+	}
+	for _, gp := range ab.GSwitch.Ports {
+		fr.Ports = append(fr.Ports, southbound.PortInfo{
+			ID: gp.ID, Up: true, External: gp.External,
+			ExternalDomain: gp.ExternalDomain, Radio: gp.GBS,
+		})
+	}
+	fr.GBSes = append(fr.GBSes, ab.GBSes...)
+	fr.GMiddleboxes = append(fr.GMiddleboxes, ab.GMiddleboxes...)
+	return fr
+}
+
+// RefreshFabric implements the §3.2 bandwidth-update protocol: "if the
+// available bandwidth exposed for a port pair in the child controller's
+// data plane changes more than a predetermined threshold, the child
+// controller will recompute new bandwidths, update the vFabric and notify
+// the parent." The controller re-measures its links (one discovery round),
+// recomputes the fabric, and — only when the drift exceeds thresholdMbps —
+// pushes the updated G-switch record to the parent's NIB. Reports whether
+// a notification was sent.
+func (c *Controller) RefreshFabric(thresholdMbps float64) bool {
+	c.RunDiscovery() // refresh link records (available bandwidth rides the meta field)
+	c.mu.Lock()
+	cfg := c.cfg
+	old := c.abstraction
+	c.mu.Unlock()
+	ab := reca.Compute(c.ID, c.NIB, cfg)
+	var oldFabric *dataplane.VFabric
+	if old != nil {
+		oldFabric = old.GSwitch.Fabric
+	}
+	changed := ab.GSwitch.Fabric.DiffExceeds(oldFabric, thresholdMbps)
+	if !changed {
+		return false
+	}
+	c.mu.Lock()
+	c.abstraction = &ab
+	c.mu.Unlock()
+	parent := c.Parent()
+	if parent == nil {
+		return true
+	}
+	// Update the parent's device record in place — ports are unchanged, so
+	// links survive and no rediscovery is needed.
+	if d, ok := parent.NIB.Device(c.GSwitchID()); ok {
+		d.Fabric = ab.GSwitch.Fabric
+		parent.NIB.PutDevice(d)
+	}
+	return true
+}
+
+// Reabstract recomputes this controller's abstraction and refreshes the
+// parent's view, recursively updating ancestors ("the logical regions are
+// updated from bottom to top in a recursive fashion", §5.3.2). The parent
+// also re-runs discovery to find inter-G-switch links whose endpoints
+// changed.
+func (c *Controller) Reabstract() {
+	c.ComputeAbstraction()
+	parent := c.Parent()
+	if parent == nil {
+		return
+	}
+	if d := parent.Device(c.GSwitchID()); d != nil {
+		parent.refreshDevice(d)
+	}
+	parent.RunDiscovery()
+	parent.Reabstract()
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+	"repro/internal/reca"
+)
+
+// TransferBorderGroup executes the §5.3.2 reconfiguration protocol for one
+// border BS group: the management plane instructs the source leaf to hand
+// the group's data-plane cut (its access switch) to the target leaf,
+// transfers UE state, and drives the bottom-up re-abstraction so ancestors
+// re-discover the changed inter-G-switch links.
+//
+// Only border groups are transferable ("the initiator detaches a border
+// G-BS connected to a source G-switch and then re-associates it with a
+// destination G-switch", §5.3.1).
+func (h *Hierarchy) TransferBorderGroup(groupID dataplane.DeviceID, src, dst *Controller) error {
+	// Locate the group's attachment in the source configuration.
+	srcCfg := src.Config()
+	var moved *reca.RadioAttachment
+	keep := make([]reca.RadioAttachment, 0, len(srcCfg.Radios))
+	for i := range srcCfg.Radios {
+		r := srcCfg.Radios[i]
+		if r.ID == groupID {
+			rr := r
+			moved = &rr
+			continue
+		}
+		keep = append(keep, r)
+	}
+	if moved == nil {
+		return fmt.Errorf("core: %s does not control group %s", src.ID, groupID)
+	}
+	if !moved.Border {
+		return fmt.Errorf("core: group %s is not a border group", groupID)
+	}
+
+	// Find the cut: the access switch carrying the group.
+	accessSW := moved.Attach.Dev
+	dev := src.DetachDevice(accessSW)
+	if dev == nil {
+		return fmt.Errorf("core: access switch %s not under %s", accessSW, src.ID)
+	}
+
+	// Transfer existing UE states and path information in advance
+	// (§5.3.2: "the source controller transfers existing UE states and
+	// path information to the target controller").
+	transferUEState(src, dst, groupID)
+
+	// Re-associate the data plane cut with the target leaf.
+	dst.AttachDevice(dev)
+	srcCfg.Radios = keep
+	src.SetConfig(srcCfg)
+	dstCfg := dst.Config()
+	dstCfg.Radios = append(dstCfg.Radios, *moved)
+	dst.SetConfig(dstCfg)
+	dst.SetRadioIndex(nil, map[dataplane.DeviceID]dataplane.PortRef{groupID: moved.Attach})
+
+	// Both leaves re-discover their (changed) physical regions…
+	src.RunDiscovery()
+	dst.RunDiscovery()
+	// …and the logical data planes update bottom-up; each Reabstract also
+	// makes the parent re-run discovery over the new border ports
+	// ("Updating logical data planes", §5.3.2).
+	src.Reabstract()
+	dst.Reabstract()
+	return nil
+}
+
+// transferUEState moves UE table rows for UEs camped on the moved group,
+// plus the BS→group index entries.
+func transferUEState(src, dst *Controller, groupID dataplane.DeviceID) {
+	src.ue.mu.Lock()
+	var movedUEs []*UERecord
+	for ue, rec := range src.ue.table {
+		if rec.Group == groupID {
+			movedUEs = append(movedUEs, rec)
+			delete(src.ue.table, ue)
+		}
+	}
+	var movedBS []dataplane.DeviceID
+	for bs, g := range src.ue.bsGroup {
+		if g == groupID {
+			movedBS = append(movedBS, bs)
+		}
+	}
+	for _, bs := range movedBS {
+		delete(src.ue.bsGroup, bs)
+	}
+	delete(src.ue.groupAttach, groupID)
+	src.ue.mu.Unlock()
+
+	dst.ue.mu.Lock()
+	for _, rec := range movedUEs {
+		dst.ue.table[rec.UE] = rec
+	}
+	for _, bs := range movedBS {
+		dst.ue.bsGroup[bs] = groupID
+	}
+	dst.ue.mu.Unlock()
+}

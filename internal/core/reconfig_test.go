@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/pathimpl"
+	"repro/internal/reca"
+)
+
+const timeMs = time.Millisecond
+
+func TestTransferBorderGroup(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+
+	// Put a UE on gB so its state must transfer.
+	if _, err := f.l2.HandleBearerRequest(BearerRequest{UE: "u9", BS: "b3", Prefix: "pfxFar"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Move gB (access switch S3) from L2 to L1. S3 has physical links to
+	// both regions (S2 in L1, S4 in L2), as border groups do.
+	if err := f.h.TransferBorderGroup("gB", f.l2, f.l1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Control moved: S3 is now under L1.
+	if f.h.LeafOf("S3") != f.l1 {
+		t.Fatal("S3 should be controlled by L1")
+	}
+	if f.l2.Device("S3") != nil {
+		t.Fatal("L2 should no longer control S3")
+	}
+
+	// Intra-region links: L1 now sees S1-S2 and S2-S3; L2 sees none (S4 is
+	// alone).
+	if got := f.l1.NIB.NumLinks(); got != 2 {
+		t.Fatalf("L1 links = %d, want 2", got)
+	}
+	if got := f.l2.NIB.NumLinks(); got != 0 {
+		t.Fatalf("L2 links = %d, want 0", got)
+	}
+
+	// The root re-discovered the cross-region link, now S3-S4.
+	if got := f.root.NIB.NumLinks(); got != 1 {
+		t.Fatalf("root links = %d, want exactly 1 (re-discovered)", got)
+	}
+
+	// UE state transferred.
+	if _, ok := f.l2.UE("u9"); ok {
+		t.Fatal("u9 should have left L2's table")
+	}
+	rec, ok := f.l1.UE("u9")
+	if !ok || rec.Group != "gB" {
+		t.Fatalf("u9 at L1: %+v ok=%v", rec, ok)
+	}
+	if g, ok := f.l1.GroupOfBS("b3"); !ok || g != "gB" {
+		t.Fatal("BS index not transferred")
+	}
+
+	// New bearers on the moved group work end-to-end: route must now
+	// delegate to the root (pfxFar exits via L2's egress).
+	newRec, err := f.l1.HandleBearerRequest(BearerRequest{UE: "u10", BS: "b3", Prefix: "pfxFar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newRec.HandledBy != f.root {
+		t.Fatalf("handled by %s", newRec.HandledBy.ID)
+	}
+	pkt := &dataplane.Packet{UE: "u10", DstPrefix: "pfxFar"}
+	res, err := f.net.Inject("S3", f.radioB.Port, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != dataplane.DispEgressed || res.EgressPort.Dev != "S4" {
+		t.Fatalf("post-transfer path: %v at %v (%v)", res.Disposition, res.EgressPort, pkt)
+	}
+	if res.MaxLabelDepth > 1 {
+		t.Fatalf("label invariant after transfer: %d", res.MaxLabelDepth)
+	}
+}
+
+func TestTransferRejectsNonBorder(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+	// Rebuild gB as internal.
+	cfg := f.l2.Config()
+	cfg.Radios[0].Border = false
+	f.l2.SetConfig(cfg)
+	f.l2.ComputeAbstraction()
+	if err := f.h.TransferBorderGroup("gB", f.l2, f.l1); err == nil {
+		t.Fatal("non-border group transfer should fail")
+	}
+}
+
+func TestTransferUnknownGroup(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+	if err := f.h.TransferBorderGroup("ghost", f.l2, f.l1); err == nil {
+		t.Fatal("unknown group transfer should fail")
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	// Fig. 1's shape: two parent regions under a root, over the physical
+	// line S1(gA) - S2 - S3 - S4(egress). P1 = {L1:{S1}, L2:{S2}},
+	// P2 = {L3:{S3,S4}}. The S1-S2 link is discovered by P1, S2-S3 by the
+	// root, S3-S4 by L3.
+	net := dataplane.NewNetwork()
+	for _, id := range []dataplane.DeviceID{"S1", "S2", "S3", "S4"} {
+		net.AddSwitch(id)
+	}
+	link := func(a, b dataplane.DeviceID) {
+		if _, err := net.Connect(a, b, 5*timeMs, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link("S1", "S2")
+	link("S2", "S3")
+	link("S3", "S4")
+	rpA, _ := net.AddRadioPort("S1", "gA")
+	ep, _ := net.AddEgress("E1", "S4", "isp")
+
+	h, err := NewThreeLevel(net, "root", map[string][]LeafSpec{
+		"P1": {
+			{ID: "L1", Switches: []dataplane.DeviceID{"S1"},
+				Radios: []reca.RadioAttachment{
+					{ID: "gA", Attach: dataplane.PortRef{Dev: "S1", Port: rpA.ID},
+						Border: true, Constituents: []dataplane.DeviceID{"gA"}},
+				},
+				BSGroup: map[dataplane.DeviceID]dataplane.DeviceID{"b1": "gA"}},
+			{ID: "L2", Switches: []dataplane.DeviceID{"S2"}},
+		},
+		"P2": {
+			{ID: "L3", Switches: []dataplane.DeviceID{"S3", "S4"}},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l1 := h.Controller("L1")
+	l3 := h.Controller("L3")
+	p1 := h.Controller("P1")
+	p2 := h.Controller("P2")
+	root := h.Root
+	if root.Level != 3 || p1.Level != 2 || l1.Level != 1 {
+		t.Fatalf("levels: root=%d p1=%d l1=%d", root.Level, p1.Level, l1.Level)
+	}
+
+	// Link ownership: exactly one controller discovers each physical link.
+	if got := l1.NIB.NumLinks(); got != 0 {
+		t.Fatalf("L1 links = %d", got)
+	}
+	if got := l3.NIB.NumLinks(); got != 1 {
+		t.Fatalf("L3 links = %d", got)
+	}
+	if got := p1.NIB.NumLinks(); got != 1 {
+		t.Fatalf("P1 links = %d (should own S1-S2)", got)
+	}
+	if got := p2.NIB.NumLinks(); got != 0 {
+		t.Fatalf("P2 links = %d", got)
+	}
+	if got := root.NIB.NumLinks(); got != 1 {
+		t.Fatalf("root links = %d (should own S2-S3)", got)
+	}
+
+	// Interdomain routes propagate L3 → P2 → root.
+	l3.AddInterdomainRoutes([]interdomain.Route{
+		{Prefix: "pfx", Egress: "E1", EgressSwitch: "S4",
+			Metrics: interdomain.Metrics{Hops: 5, RTT: 10 * timeMs}},
+	}, dataplane.PortRef{Dev: "S4", Port: ep.Port})
+	l3.PropagateInterdomain()
+	if len(root.RouteOptions("pfx")) != 1 {
+		t.Fatal("root should have the propagated route")
+	}
+	if len(p1.RouteOptions("pfx")) != 0 {
+		t.Fatal("P1 should not have P2's route")
+	}
+
+	// A bearer from gA delegates L1 → P1 → root; the implemented path
+	// translates through three levels yet keeps label depth 1.
+	rec, err := l1.HandleBearerRequest(BearerRequest{UE: "u3l", BS: "b1", Prefix: "pfx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HandledBy != root {
+		t.Fatalf("handled by %s, want root", rec.HandledBy.ID)
+	}
+	pkt := &dataplane.Packet{UE: "u3l", DstPrefix: "pfx"}
+	res, err := net.Inject("S1", rpA.ID, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != dataplane.DispEgressed || res.EgressPort.Dev != "S4" {
+		t.Fatalf("3-level path: %v at %v (%v)", res.Disposition, res.EgressPort, pkt)
+	}
+	if res.MaxLabelDepth != 1 {
+		t.Fatalf("3-level swap-mode depth = %d, want 1", res.MaxLabelDepth)
+	}
+}
+
+func TestThreeLevelStackDepth(t *testing.T) {
+	// Same topology, stacking mode: a 3-level path stacks up to 3 labels.
+	net := dataplane.NewNetwork()
+	for _, id := range []dataplane.DeviceID{"S1", "S2", "S3", "S4"} {
+		net.AddSwitch(id)
+	}
+	for _, pair := range [][2]dataplane.DeviceID{{"S1", "S2"}, {"S2", "S3"}, {"S3", "S4"}} {
+		if _, err := net.Connect(pair[0], pair[1], 5*timeMs, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rpA, _ := net.AddRadioPort("S1", "gA")
+	ep, _ := net.AddEgress("E1", "S4", "isp")
+	h, err := NewThreeLevel(net, "root", map[string][]LeafSpec{
+		"P1": {
+			{ID: "L1", Switches: []dataplane.DeviceID{"S1"},
+				Radios: []reca.RadioAttachment{
+					{ID: "gA", Attach: dataplane.PortRef{Dev: "S1", Port: rpA.ID},
+						Border: true, Constituents: []dataplane.DeviceID{"gA"}},
+				},
+				BSGroup: map[dataplane.DeviceID]dataplane.DeviceID{"b1": "gA"}},
+			{ID: "L2", Switches: []dataplane.DeviceID{"S2"}},
+		},
+		"P2": {
+			{ID: "L3", Switches: []dataplane.DeviceID{"S3", "S4"}},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range h.All {
+		c.Mode = pathimpl.ModeStack
+	}
+	l3 := h.Controller("L3")
+	l3.AddInterdomainRoutes([]interdomain.Route{
+		{Prefix: "pfx", Egress: "E1", EgressSwitch: "S4",
+			Metrics: interdomain.Metrics{Hops: 5, RTT: 10 * timeMs}},
+	}, dataplane.PortRef{Dev: "S4", Port: ep.Port})
+	l3.PropagateInterdomain()
+
+	l1 := h.Controller("L1")
+	if _, err := l1.HandleBearerRequest(BearerRequest{UE: "u3s", BS: "b1", Prefix: "pfx"}); err != nil {
+		t.Fatal(err)
+	}
+	pkt := &dataplane.Packet{UE: "u3s", DstPrefix: "pfx"}
+	res, err := net.Inject("S1", rpA.ID, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Disposition != dataplane.DispEgressed || res.EgressPort.Dev != "S4" {
+		t.Fatalf("stack 3-level path: %v at %v (%v)", res.Disposition, res.EgressPort, pkt)
+	}
+	if res.MaxLabelDepth < 2 {
+		t.Fatalf("stack-mode 3-level depth = %d, want ≥ 2 (grows with hierarchy)", res.MaxLabelDepth)
+	}
+	if res.MaxLabelDepth <= 1 {
+		t.Fatal("stacking must exceed swapping's depth")
+	}
+	if pkt.LabelDepth() != 0 {
+		t.Fatal("packet must leave unlabeled")
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/dataplane"
+	"repro/internal/routing"
+)
+
+// Switch and link failure recovery (§6): "the controller finds affected
+// local paths and implements alternative shortest paths with the same
+// performance. ... If the failure affects the exposed G-switch and virtual
+// fabric in a way that cannot be masked from the ancestor controllers,
+// changes are reflected bottom up which may cause upper-level controllers
+// to recompute new paths."
+
+// RepairPaths re-routes every active path of this controller that
+// traverses the given (now unusable) port. It returns the repaired and
+// failed path IDs. Paths with no alternative stay broken (and deactivate),
+// mirroring the escalation to ancestors in the paper.
+func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []PathID) {
+	type job struct {
+		id   PathID
+		path *routing.Path
+	}
+	var jobs []job
+	c.mu.Lock()
+	for id, rec := range c.paths {
+		if !rec.Active || rec.lastPath == nil {
+			continue
+		}
+		if pathUses(rec.lastPath, ref) {
+			jobs = append(jobs, job{id: id, path: rec.lastPath})
+		}
+	}
+	c.mu.Unlock()
+
+	g := c.Graph() // rebuilt view excludes the failed link
+	for _, j := range jobs {
+		src := j.path.Points[0]
+		dst := j.path.Points[len(j.path.Points)-1]
+		alt, err := g.ShortestPath(src, dst, routing.MinHops, routing.Constraints{})
+		if err != nil {
+			c.mu.Lock()
+			if rec, ok := c.paths[j.id]; ok {
+				rec.Active = false
+			}
+			c.mu.Unlock()
+			// drop the dead rules so traffic punts instead of blackholing
+			for _, d := range c.Devices() {
+				if rec, ok := c.Path(j.id); ok {
+					_ = d.RemoveRules(rec.Owner)
+				}
+			}
+			failed = append(failed, j.id)
+			continue
+		}
+		if err := c.ReroutePath(j.id, alt); err != nil {
+			failed = append(failed, j.id)
+			continue
+		}
+		repaired = append(repaired, j.id)
+	}
+	return repaired, failed
+}
+
+// pathUses reports whether a path's point sequence touches the port.
+func pathUses(p *routing.Path, ref dataplane.PortRef) bool {
+	for _, pt := range p.Points {
+		if pt == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// HandleLinkFailure combines the NIB update with local path repair — the
+// full §6 reaction to a Port-Status down event. It returns the repair
+// outcome for observability.
+func (c *Controller) HandleLinkFailure(dev dataplane.DeviceID, port dataplane.PortID) (repaired, failed []PathID) {
+	ref := dataplane.PortRef{Dev: dev, Port: port}
+	// Find the far end before the record disappears, so paths entering on
+	// the other side are repaired too.
+	var far *dataplane.PortRef
+	for _, l := range c.NIB.LinksOf(dev) {
+		if l.A == ref {
+			f := l.B
+			far = &f
+		} else if l.B == ref {
+			f := l.A
+			far = &f
+		}
+	}
+	c.HandlePortStatus(dev, port, false)
+	repaired, failed = c.RepairPaths(ref)
+	if far != nil {
+		r2, f2 := c.RepairPaths(*far)
+		repaired = append(repaired, r2...)
+		failed = append(failed, f2...)
+	}
+	return repaired, failed
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataplane"
+	"repro/internal/routing"
+)
+
+func TestRepairPathsAfterLinkFailure(t *testing.T) {
+	f := buildRerouteFixture(t) // diamond: S1-{S2,S3}-S4
+	match := dataplane.Match{InPort: dataplane.PortAny, UE: "u1", QoS: -1}
+	id, err := f.leaf.SetupPath(match, f.pathVia(t, routing.MinHops)) // via S2
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.drive(t)
+	if res.Packet.Path()[1] != "S2" {
+		t.Fatalf("precondition: path via %v", res.Packet.Path())
+	}
+
+	// Fail the S1-S2 link and repair.
+	var link *dataplane.Link
+	for _, l := range f.net.Links() {
+		if (l.A.Dev == "S1" && l.B.Dev == "S2") || (l.A.Dev == "S2" && l.B.Dev == "S1") {
+			link = l
+		}
+	}
+	f.net.SetLinkState(link, false) // prunes the NIB via PortStatus events
+	ref := link.A
+	if ref.Dev != "S1" {
+		ref = link.B
+	}
+	repaired, failed := f.leaf.RepairPaths(ref)
+	if len(failed) != 0 {
+		t.Fatalf("failed paths: %v", failed)
+	}
+	if len(repaired) != 1 || repaired[0] != id {
+		t.Fatalf("repaired = %v", repaired)
+	}
+
+	res = f.drive(t)
+	if res.Disposition != dataplane.DispEgressed {
+		t.Fatalf("post-repair delivery: %v", res.Disposition)
+	}
+	if res.Packet.Path()[1] != "S3" {
+		t.Fatalf("repair should reroute via S3, went %v", res.Packet.Path())
+	}
+	if res.MaxLabelDepth > 1 {
+		t.Fatal("label invariant across repair")
+	}
+}
+
+func TestRepairDeactivatesUnreachablePaths(t *testing.T) {
+	f := buildRerouteFixture(t)
+	match := dataplane.Match{InPort: dataplane.PortAny, UE: "u1", QoS: -1}
+	id, err := f.leaf.SetupPath(match, f.pathVia(t, routing.MinHops))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail BOTH diamond arms: no alternative exists.
+	for _, l := range f.net.Links() {
+		if l.A.Dev == "S1" || l.B.Dev == "S1" {
+			f.net.SetLinkState(l, false)
+		}
+	}
+	_, failed := f.leaf.RepairPaths(dataplane.PortRef{Dev: "S1", Port: 1})
+	// the via-S2 path used S1 port 1
+	if len(failed) != 1 || failed[0] != id {
+		t.Fatalf("failed = %v", failed)
+	}
+	rec, _ := f.leaf.Path(id)
+	if rec.Active {
+		t.Fatal("unrepairable path must deactivate")
+	}
+	// traffic punts (reachable for recomputation) instead of blackholing
+	res := f.drive(t)
+	if res.Disposition != dataplane.DispPunted {
+		t.Fatalf("disposition = %v", res.Disposition)
+	}
+}
+
+func TestHandleLinkFailureEndToEnd(t *testing.T) {
+	f := buildRerouteFixture(t)
+	match := dataplane.Match{InPort: dataplane.PortAny, UE: "u1", QoS: -1}
+	if _, err := f.leaf.SetupPath(match, f.pathVia(t, routing.MinHops)); err != nil {
+		t.Fatal(err)
+	}
+	var link *dataplane.Link
+	for _, l := range f.net.Links() {
+		if (l.A.Dev == "S1" && l.B.Dev == "S2") || (l.A.Dev == "S2" && l.B.Dev == "S1") {
+			link = l
+		}
+	}
+	link.SetUp(false)
+	ref := link.A
+	if ref.Dev != "S1" {
+		ref = link.B
+	}
+	repaired, failed := f.leaf.HandleLinkFailure(ref.Dev, ref.Port)
+	if len(repaired) != 1 || len(failed) != 0 {
+		t.Fatalf("repaired=%v failed=%v", repaired, failed)
+	}
+	if f.leaf.NIB.NumLinks() != 3 {
+		t.Fatalf("NIB links = %d, want 3 (one pruned)", f.leaf.NIB.NumLinks())
+	}
+	res := f.drive(t)
+	if res.Disposition != dataplane.DispEgressed || res.Packet.Path()[1] != "S3" {
+		t.Fatalf("post-failure: %v via %v", res.Disposition, res.Packet.Path())
+	}
+}

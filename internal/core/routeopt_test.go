@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/pathimpl"
+)
+
+// TestOptimizeRoutesMovesFlowToBetterEgress: a flow installed when E-far
+// was the only option migrates to E-near once a much better route appears
+// (an interdomain snapshot change).
+func TestOptimizeRoutesMovesFlowToBetterEgress(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+
+	// "pfxMoving" is initially reachable only via E-far.
+	f.l2.AddInterdomainRoutes([]interdomain.Route{{
+		Prefix: "pfxMoving", Egress: "E-far", EgressSwitch: "S4",
+		Metrics: interdomain.Metrics{Hops: 12, RTT: 24 * time.Millisecond},
+	}}, dataplane.PortRef{Dev: "S4", Port: f.farEgress.Port})
+	f.l2.PropagateInterdomain()
+
+	rec, err := f.l1.HandleBearerRequest(BearerRequest{UE: "um", BS: "b1", Prefix: "pfxMoving"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.HandledBy != f.root {
+		t.Fatalf("setup should delegate to root, got %s", rec.HandledBy.ID)
+	}
+	pkt := &dataplane.Packet{UE: "um", DstPrefix: "pfxMoving"}
+	res, _ := f.net.Inject("S1", f.radioA.Port, pkt)
+	if res.EgressPort.Dev != "S4" {
+		t.Fatalf("precondition: flow exits at %v", res.EgressPort)
+	}
+
+	// Routing change: E-near now reaches pfxMoving in 2 hops.
+	f.l1.AddInterdomainRoutes([]interdomain.Route{{
+		Prefix: "pfxMoving", Egress: "E-near", EgressSwitch: "S2",
+		Metrics: interdomain.Metrics{Hops: 2, RTT: 4 * time.Millisecond},
+	}}, dataplane.PortRef{Dev: "S2", Port: f.nearEgress.Port})
+	f.l1.PropagateInterdomain()
+
+	report := f.root.OptimizeRoutes(1)
+	if report.Examined == 0 || report.Rerouted != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	if report.HopsSaved <= 0 {
+		t.Fatalf("hops saved = %d", report.HopsSaved)
+	}
+
+	pkt2 := &dataplane.Packet{UE: "um", DstPrefix: "pfxMoving"}
+	res2, _ := f.net.Inject("S1", f.radioA.Port, pkt2)
+	if res2.Disposition != dataplane.DispEgressed {
+		t.Fatalf("post-opt delivery: %v", res2.Disposition)
+	}
+	if res2.EgressPort.Dev != "S2" {
+		t.Fatalf("flow should migrate to E-near (S2), exits at %v", res2.EgressPort)
+	}
+	if res2.MaxLabelDepth > 1 {
+		t.Fatal("label invariant across optimization")
+	}
+}
+
+// TestOptimizeRoutesLeavesGoodPathsAlone: no churn when nothing improved.
+func TestOptimizeRoutesLeavesGoodPathsAlone(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+	if _, err := f.l1.HandleBearerRequest(BearerRequest{UE: "u1", BS: "b1", Prefix: "pfxNear"}); err != nil {
+		t.Fatal(err)
+	}
+	report := f.l1.OptimizeRoutes(1)
+	if report.Rerouted != 0 {
+		t.Fatalf("spurious reroutes: %+v", report)
+	}
+	if report.Examined != 1 {
+		t.Fatalf("examined = %d", report.Examined)
+	}
+}
+
+// TestOptimizeRoutesRespectsGainThreshold: marginal gains below the
+// threshold do not trigger churn.
+func TestOptimizeRoutesRespectsGainThreshold(t *testing.T) {
+	f := buildFig5(t, pathimpl.ModeSwap)
+	f.l1.AddInterdomainRoutes([]interdomain.Route{{
+		Prefix: "pfxT", Egress: "E-near", EgressSwitch: "S2",
+		Metrics: interdomain.Metrics{Hops: 10, RTT: 20 * time.Millisecond},
+	}}, dataplane.PortRef{Dev: "S2", Port: f.nearEgress.Port})
+	if _, err := f.l1.HandleBearerRequest(BearerRequest{UE: "u1", BS: "b1", Prefix: "pfxT"}); err != nil {
+		t.Fatal(err)
+	}
+	// A new option that saves just one hop.
+	f.l1.AddInterdomainRoutes([]interdomain.Route{{
+		Prefix: "pfxT", Egress: "E-near", EgressSwitch: "S2",
+		Metrics: interdomain.Metrics{Hops: 9, RTT: 18 * time.Millisecond},
+	}}, dataplane.PortRef{Dev: "S2", Port: f.nearEgress.Port})
+	report := f.l1.OptimizeRoutes(5)
+	if report.Rerouted != 0 {
+		t.Fatalf("threshold ignored: %+v", report)
+	}
+}

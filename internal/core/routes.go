@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/routing"
+)
+
+// RouteOption is one way out of this controller's region toward a prefix:
+// a local egress port plus the externally measured path quality (§4.2).
+type RouteOption struct {
+	Egress   string
+	Ref      dataplane.PortRef // egress port in this controller's topology
+	External interdomain.Metrics
+}
+
+// AddInterdomainRoutes stores selected interdomain routes for the egress
+// port at ref (an RCP-style selection result, §4.2). Leaf controllers call
+// this directly; ancestors receive translated routes via
+// PropagateInterdomain.
+func (c *Controller) AddInterdomainRoutes(routes []interdomain.Route, ref dataplane.PortRef) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, r := range routes {
+		c.routes[r.Prefix] = append(c.routes[r.Prefix], RouteOption{
+			Egress: r.Egress, Ref: ref, External: r.Metrics,
+		})
+	}
+}
+
+// ClearInterdomainRoutes drops all stored routes (used when replaying a new
+// snapshot).
+func (c *Controller) ClearInterdomainRoutes() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.routes = make(map[interdomain.PrefixID][]RouteOption)
+}
+
+// RouteOptions returns the stored options for a prefix.
+func (c *Controller) RouteOptions(prefix interdomain.PrefixID) []RouteOption {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]RouteOption(nil), c.routes[prefix]...)
+}
+
+// PropagateInterdomain forwards this controller's interdomain routes to its
+// parent, translating egress refs to the exposed G-switch ports (§4.2:
+// "Recursively, the RecA agent reads the interdomain routes from NIB and
+// sends it to the parent (with translation to the G-switch)").
+func (c *Controller) PropagateInterdomain() {
+	parent := c.Parent()
+	if parent == nil {
+		return
+	}
+	c.mu.Lock()
+	all := make(map[interdomain.PrefixID][]RouteOption, len(c.routes))
+	for p, opts := range c.routes {
+		all[p] = append([]RouteOption(nil), opts...)
+	}
+	c.mu.Unlock()
+	gsw := c.GSwitchID()
+	for prefix, opts := range all {
+		for _, opt := range opts {
+			gport, ok := c.exposedPortFor(opt.Ref)
+			if !ok {
+				continue
+			}
+			parent.mu.Lock()
+			parent.routes[prefix] = append(parent.routes[prefix], RouteOption{
+				Egress:   opt.Egress,
+				Ref:      dataplane.PortRef{Dev: gsw, Port: gport},
+				External: opt.External,
+			})
+			parent.mu.Unlock()
+		}
+	}
+	parent.PropagateInterdomain()
+}
+
+// RouteRequest asks for an end-to-end path from a source port in the
+// controller's topology to an Internet prefix.
+type RouteRequest struct {
+	From        dataplane.PortRef
+	Prefix      interdomain.PrefixID
+	Objective   routing.Objective
+	Constraints routing.Constraints
+	// MaxTotalHops bounds internal + external hops (0 = unbounded), the
+	// §4.2 example's "maximum end-to-end hop count of 14".
+	MaxTotalHops int
+	// MaxTotalRTT bounds the end-to-end round-trip latency.
+	MaxTotalRTT time.Duration
+}
+
+// RouteResult is a computed end-to-end route.
+type RouteResult struct {
+	// Path is the internal path in the resolving controller's topology.
+	Path *routing.Path
+	// Option is the chosen egress and its external metrics.
+	Option RouteOption
+	// TotalHops is internal + external hops.
+	TotalHops int
+	// TotalRTT is the end-to-end round-trip estimate (2× internal one-way
+	// latency + external RTT).
+	TotalRTT time.Duration
+	// ResolvedBy is the controller that satisfied the request.
+	ResolvedBy *Controller
+}
+
+// ErrNoRoute is returned when no controller up to the root can satisfy a
+// request.
+var ErrNoRoute = errors.New("core: no admissible route")
+
+// Route computes the best end-to-end route in this controller's own region
+// (locally optimal, §4.2). It does not delegate; use RouteRecursive for
+// the full leaf-to-root procedure.
+func (c *Controller) Route(req RouteRequest) (*RouteResult, error) {
+	opts := c.RouteOptions(req.Prefix)
+	if len(opts) == 0 {
+		return nil, ErrNoRoute
+	}
+	g := c.Graph()
+	var best *RouteResult
+	for _, opt := range opts {
+		p, err := g.ShortestPath(req.From, opt.Ref, req.Objective, req.Constraints)
+		if err != nil {
+			continue
+		}
+		r := &RouteResult{
+			Path:       p,
+			Option:     opt,
+			TotalHops:  p.Cost.Hops + opt.External.Hops,
+			TotalRTT:   2*p.Cost.Latency + opt.External.RTT,
+			ResolvedBy: c,
+		}
+		if best == nil || betterTotal(r, best, req.Objective) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil, ErrNoRoute
+	}
+	if req.MaxTotalHops > 0 && best.TotalHops > req.MaxTotalHops {
+		return nil, ErrNoRoute
+	}
+	if req.MaxTotalRTT > 0 && best.TotalRTT > req.MaxTotalRTT {
+		return nil, ErrNoRoute
+	}
+	return best, nil
+}
+
+func betterTotal(a, b *RouteResult, obj routing.Objective) bool {
+	if obj == routing.MinLatency {
+		if a.TotalRTT != b.TotalRTT {
+			return a.TotalRTT < b.TotalRTT
+		}
+		return a.TotalHops < b.TotalHops
+	}
+	if a.TotalHops != b.TotalHops {
+		return a.TotalHops < b.TotalHops
+	}
+	return a.TotalRTT < b.TotalRTT
+}
+
+// RouteRecursive implements the §4.2 delegation procedure: try locally; on
+// failure translate the source to the exposed G-switch port and delegate to
+// the parent, up to the root.
+func (c *Controller) RouteRecursive(req RouteRequest) (*RouteResult, error) {
+	if res, err := c.Route(req); err == nil {
+		return res, nil
+	}
+	parent := c.Parent()
+	if parent == nil {
+		return nil, ErrNoRoute
+	}
+	gport, ok := c.sourceGPort(req.From)
+	if !ok {
+		return nil, fmt.Errorf("%w: source %v not exposed to parent", ErrNoRoute, req.From)
+	}
+	c.mu.Lock()
+	c.stats.DelegatedRequests++
+	c.mu.Unlock()
+	up := req
+	up.From = dataplane.PortRef{Dev: c.GSwitchID(), Port: gport}
+	return parent.RouteRecursive(up)
+}

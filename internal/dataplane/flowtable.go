@@ -1,0 +1,305 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Match selects packets for a flow rule. Zero-valued fields are wildcards,
+// except InPort where the wildcard is PortAny and the label where the
+// wildcard is HasLabel == false.
+type Match struct {
+	InPort PortID
+	// HasLabel gates the Label field: when true the rule matches only
+	// packets whose top of stack equals Label.
+	HasLabel bool
+	Label    Label
+	// MatchNoLabel matches only packets with an empty label stack (used by
+	// access-switch classification rules). Mutually exclusive with HasLabel.
+	MatchNoLabel bool
+	UE           string
+	SrcIP        string
+	DstPrefix    string
+	// QoS < 0 is the wildcard.
+	QoS int
+}
+
+// AnyMatch returns a Match that matches every packet.
+func AnyMatch() Match { return Match{InPort: PortAny, QoS: -1} }
+
+// Matches reports whether the packet arriving on inPort satisfies m.
+func (m Match) Matches(inPort PortID, p *Packet) bool {
+	if m.InPort != PortAny && m.InPort != inPort {
+		return false
+	}
+	if m.HasLabel {
+		top, ok := p.TopLabel()
+		if !ok || top != m.Label {
+			return false
+		}
+	}
+	if m.MatchNoLabel && p.LabelDepth() != 0 {
+		return false
+	}
+	if m.UE != "" && m.UE != p.UE {
+		return false
+	}
+	if m.SrcIP != "" && m.SrcIP != p.SrcIP {
+		return false
+	}
+	if m.DstPrefix != "" && m.DstPrefix != p.DstPrefix {
+		return false
+	}
+	if m.QoS >= 0 && m.QoS != p.QoS {
+		return false
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (m Match) String() string {
+	var parts []string
+	if m.InPort != PortAny {
+		parts = append(parts, fmt.Sprintf("in=%d", m.InPort))
+	}
+	if m.HasLabel {
+		parts = append(parts, fmt.Sprintf("label=%d", m.Label))
+	}
+	if m.MatchNoLabel {
+		parts = append(parts, "nolabel")
+	}
+	if m.UE != "" {
+		parts = append(parts, "ue="+m.UE)
+	}
+	if m.SrcIP != "" {
+		parts = append(parts, "src="+m.SrcIP)
+	}
+	if m.DstPrefix != "" {
+		parts = append(parts, "dst="+m.DstPrefix)
+	}
+	if m.QoS >= 0 {
+		parts = append(parts, fmt.Sprintf("qos=%d", m.QoS))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// ActionOp enumerates flow-rule action opcodes.
+type ActionOp int
+
+const (
+	// OpOutput forwards the packet out of a port.
+	OpOutput ActionOp = iota
+	// OpPushLabel pushes a label onto the stack.
+	OpPushLabel
+	// OpPopLabel pops the top label.
+	OpPopLabel
+	// OpSwapLabel replaces the top label.
+	OpSwapLabel
+	// OpToController punts the packet to the controlling controller
+	// (Packet-In).
+	OpToController
+	// OpDrop discards the packet.
+	OpDrop
+)
+
+// String implements fmt.Stringer.
+func (o ActionOp) String() string {
+	switch o {
+	case OpOutput:
+		return "output"
+	case OpPushLabel:
+		return "push"
+	case OpPopLabel:
+		return "pop"
+	case OpSwapLabel:
+		return "swap"
+	case OpToController:
+		return "to-controller"
+	case OpDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Action is one instruction in a rule's action list.
+type Action struct {
+	Op    ActionOp
+	Port  PortID // for OpOutput
+	Label Label  // for OpPushLabel / OpSwapLabel
+}
+
+// Output constructs an output action.
+func Output(port PortID) Action { return Action{Op: OpOutput, Port: port} }
+
+// Push constructs a push-label action.
+func Push(l Label) Action { return Action{Op: OpPushLabel, Label: l} }
+
+// Pop constructs a pop-label action.
+func Pop() Action { return Action{Op: OpPopLabel} }
+
+// Swap constructs a swap-label action.
+func Swap(l Label) Action { return Action{Op: OpSwapLabel, Label: l} }
+
+// ToController constructs a punt-to-controller action.
+func ToController() Action { return Action{Op: OpToController} }
+
+// Drop constructs a drop action.
+func Drop() Action { return Action{Op: OpDrop} }
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a.Op {
+	case OpOutput:
+		return fmt.Sprintf("output:%d", a.Port)
+	case OpPushLabel:
+		return fmt.Sprintf("push:%d", a.Label)
+	case OpSwapLabel:
+		return fmt.Sprintf("swap:%d", a.Label)
+	default:
+		return a.Op.String()
+	}
+}
+
+// Rule is a prioritized match-action flow entry. Higher Priority wins;
+// ties break by insertion order (older first), mirroring OpenFlow.
+type Rule struct {
+	Priority int
+	Match    Match
+	Actions  []Action
+	// Version tags the rule for consistent path updates (§6): packets of a
+	// flow are matched against rules of their own version during updates.
+	Version int
+	// Owner records the installing controller, for accounting.
+	Owner string
+	// Demand is the bandwidth (Mbps) this rule's flow reserves on the link
+	// behind its output port; 0 means best-effort. Reservations are taken
+	// at install time and released at removal (admission control for the
+	// §3.2 available-bandwidth metrics).
+	Demand float64
+
+	seq uint64
+}
+
+// String implements fmt.Stringer.
+func (r *Rule) String() string {
+	acts := make([]string, len(r.Actions))
+	for i, a := range r.Actions {
+		acts[i] = a.String()
+	}
+	return fmt.Sprintf("prio=%d match[%s] actions[%s] v%d", r.Priority, r.Match, strings.Join(acts, " "), r.Version)
+}
+
+// FlowTable is a concurrency-safe prioritized rule table.
+type FlowTable struct {
+	mu      sync.RWMutex
+	rules   []*Rule
+	nextSeq uint64
+	// Misses counts lookups that matched no rule.
+	misses uint64
+	// Hits counts successful lookups.
+	hits uint64
+}
+
+// NewFlowTable returns an empty table.
+func NewFlowTable() *FlowTable { return &FlowTable{} }
+
+// Add installs a rule (copied) and keeps the table sorted by priority desc,
+// then insertion order asc.
+func (t *FlowTable) Add(r Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r.seq = t.nextSeq
+	t.nextSeq++
+	rc := r
+	t.rules = append(t.rules, &rc)
+	sort.SliceStable(t.rules, func(i, j int) bool {
+		if t.rules[i].Priority != t.rules[j].Priority {
+			return t.rules[i].Priority > t.rules[j].Priority
+		}
+		return t.rules[i].seq < t.rules[j].seq
+	})
+}
+
+// Lookup returns the highest-priority rule matching the packet, or nil.
+func (t *FlowTable) Lookup(inPort PortID, p *Packet) *Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, r := range t.rules {
+		if r.Match.Matches(inPort, p) {
+			t.hits++
+			return r
+		}
+	}
+	t.misses++
+	return nil
+}
+
+// Len reports the number of installed rules.
+func (t *FlowTable) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
+
+// Rules returns a snapshot of the installed rules.
+func (t *FlowTable) Rules() []*Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Rule, len(t.rules))
+	copy(out, t.rules)
+	return out
+}
+
+// TakeIf deletes all rules for which pred returns true and returns them.
+func (t *FlowTable) TakeIf(pred func(*Rule) bool) []*Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	kept := t.rules[:0]
+	var removed []*Rule
+	for _, r := range t.rules {
+		if pred(r) {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	for i := len(kept); i < len(t.rules); i++ {
+		t.rules[i] = nil
+	}
+	t.rules = kept
+	return removed
+}
+
+// RemoveIf deletes all rules for which pred returns true, returning the
+// number removed.
+func (t *FlowTable) RemoveIf(pred func(*Rule) bool) int {
+	return len(t.TakeIf(pred))
+}
+
+// RemoveByOwner deletes all rules installed by owner.
+func (t *FlowTable) RemoveByOwner(owner string) int {
+	return t.RemoveIf(func(r *Rule) bool { return r.Owner == owner })
+}
+
+// RemoveVersion deletes all rules with the given version.
+func (t *FlowTable) RemoveVersion(v int) int {
+	return t.RemoveIf(func(r *Rule) bool { return r.Version == v })
+}
+
+// Clear removes every rule.
+func (t *FlowTable) Clear() {
+	t.RemoveIf(func(*Rule) bool { return true })
+}
+
+// Stats returns (hits, misses) lookup counters.
+func (t *FlowTable) Stats() (hits, misses uint64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.hits, t.misses
+}

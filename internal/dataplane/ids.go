@@ -1,0 +1,127 @@
+// Package dataplane models the SoftMoW physical data plane: programmable
+// switches with label-capable flow tables, links annotated with latency and
+// bandwidth, base stations organized into BS groups, middleboxes, and
+// Internet egress points.
+//
+// The model substitutes for the paper's Mininet/Open vSwitch data plane
+// (§7.1). It is a functional simulator: packets injected into the network
+// traverse flow tables hop by hop, applying label push/pop/swap and output
+// actions, while the traversal engine records per-hop label depth so the
+// paper's single-label invariant (§4.3) can be checked mechanically.
+package dataplane
+
+import "fmt"
+
+// DeviceID identifies any data-plane device (switch, base station,
+// middlebox, or their gigantic logical counterparts).
+type DeviceID string
+
+// PortID identifies a port on a device. Port numbering is per-device and
+// starts at 1; PortAny matches any port in a flow rule.
+type PortID int
+
+// PortAny is the wildcard in-port used in flow rule matches.
+const PortAny PortID = -1
+
+// DeviceKind classifies data-plane devices, mirroring the paper's NIB
+// device-type field (§4).
+type DeviceKind int
+
+const (
+	KindUnknown DeviceKind = iota
+	// KindSwitch is a physical programmable core switch.
+	KindSwitch
+	// KindGSwitch is a gigantic (logical) switch exposed by a child
+	// controller (§3.1).
+	KindGSwitch
+	// KindBaseStation is a physical eNodeB-class base station.
+	KindBaseStation
+	// KindGBS is a gigantic base station abstracting one or more BS groups.
+	KindGBS
+	// KindMiddlebox is a physical middlebox instance.
+	KindMiddlebox
+	// KindGMiddlebox aggregates same-type middlebox instances.
+	KindGMiddlebox
+)
+
+// String implements fmt.Stringer.
+func (k DeviceKind) String() string {
+	switch k {
+	case KindSwitch:
+		return "switch"
+	case KindGSwitch:
+		return "g-switch"
+	case KindBaseStation:
+		return "base-station"
+	case KindGBS:
+		return "g-bs"
+	case KindMiddlebox:
+		return "middlebox"
+	case KindGMiddlebox:
+		return "g-middlebox"
+	default:
+		return "unknown"
+	}
+}
+
+// PortRef names one endpoint of a link: a device and one of its ports.
+type PortRef struct {
+	Dev  DeviceID
+	Port PortID
+}
+
+// String implements fmt.Stringer.
+func (p PortRef) String() string { return fmt.Sprintf("%s:%d", p.Dev, p.Port) }
+
+// Label is an MPLS-style forwarding label. Labels are allocated per
+// controller from disjoint ranges so a rule's owner is recoverable in
+// debugging output (§4.3).
+type Label uint32
+
+// NoLabel is the zero Label, never allocated to a path.
+const NoLabel Label = 0
+
+// MiddleboxType enumerates the middlebox functions mentioned in §2.1.
+type MiddleboxType int
+
+const (
+	MBFirewall MiddleboxType = iota
+	MBIDS
+	MBDPI
+	MBTranscoder
+	MBNoiseCancel
+	MBCharging
+	MBRateLimiter
+	numMiddleboxTypes
+)
+
+// String implements fmt.Stringer.
+func (m MiddleboxType) String() string {
+	switch m {
+	case MBFirewall:
+		return "firewall"
+	case MBIDS:
+		return "ids"
+	case MBDPI:
+		return "dpi"
+	case MBTranscoder:
+		return "transcoder"
+	case MBNoiseCancel:
+		return "noise-cancel"
+	case MBCharging:
+		return "charging"
+	case MBRateLimiter:
+		return "rate-limiter"
+	default:
+		return fmt.Sprintf("mbtype(%d)", int(m))
+	}
+}
+
+// MiddleboxTypes lists all modeled middlebox types.
+func MiddleboxTypes() []MiddleboxType {
+	ts := make([]MiddleboxType, numMiddleboxTypes)
+	for i := range ts {
+		ts[i] = MiddleboxType(i)
+	}
+	return ts
+}

@@ -1,0 +1,48 @@
+package dataplane
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// packetWire is the gob wire representation of Packet: identical to Packet
+// but with the label stack exported.
+type packetWire struct {
+	UE                 string
+	SrcIP              string
+	DstPrefix          string
+	QoS                int
+	Labels             []Label
+	Trace              []Hop
+	MiddleboxesVisited []MiddleboxType
+	MaxLabelDepth      int
+}
+
+// GobEncode implements gob.GobEncoder so the unexported label stack
+// survives southbound transport.
+func (p *Packet) GobEncode() ([]byte, error) {
+	w := packetWire{
+		UE: p.UE, SrcIP: p.SrcIP, DstPrefix: p.DstPrefix, QoS: p.QoS,
+		Labels: p.labels, Trace: p.Trace,
+		MiddleboxesVisited: p.MiddleboxesVisited, MaxLabelDepth: p.MaxLabelDepth,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (p *Packet) GobDecode(data []byte) error {
+	var w packetWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	p.UE, p.SrcIP, p.DstPrefix, p.QoS = w.UE, w.SrcIP, w.DstPrefix, w.QoS
+	p.labels = w.Labels
+	p.Trace = w.Trace
+	p.MiddleboxesVisited = w.MiddleboxesVisited
+	p.MaxLabelDepth = w.MaxLabelDepth
+	return nil
+}

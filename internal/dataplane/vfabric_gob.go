@@ -1,0 +1,40 @@
+package dataplane
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// vfabricWire is the gob wire representation of VFabric.
+type vfabricWire struct {
+	Pairs   []PortPair
+	Metrics []PathMetrics
+}
+
+// GobEncode implements gob.GobEncoder so fabrics survive southbound
+// FeatureReply transport.
+func (v *VFabric) GobEncode() ([]byte, error) {
+	var w vfabricWire
+	for _, pp := range v.Pairs() {
+		w.Pairs = append(w.Pairs, pp)
+		w.Metrics = append(w.Metrics, v.pairs[pp])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (v *VFabric) GobDecode(data []byte) error {
+	var w vfabricWire
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	v.pairs = make(map[PortPair]PathMetrics, len(w.Pairs))
+	for i, pp := range w.Pairs {
+		v.pairs[pp] = w.Metrics[i]
+	}
+	return nil
+}

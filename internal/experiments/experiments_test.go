@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pathimpl"
+)
+
+func smallEval(t *testing.T) *Eval {
+	t.Helper()
+	ev, err := BuildEval(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestBuildEvalComposition(t *testing.T) {
+	ev := smallEval(t)
+	if len(ev.H.Leaves) != 4 {
+		t.Fatalf("leaves = %d", len(ev.H.Leaves))
+	}
+	if ev.H.Root.NIB.NumLinks() == 0 {
+		t.Fatal("root discovered no cross-region links")
+	}
+	for _, leaf := range ev.H.Leaves {
+		if leaf.NIB.NumLinks() == 0 {
+			t.Fatalf("leaf %s discovered no links", leaf.ID)
+		}
+		ab := leaf.Abstraction()
+		if ab == nil || ab.GSwitch.Fabric.Len() == 0 {
+			t.Fatalf("leaf %s has no abstraction", leaf.ID)
+		}
+	}
+	// each group assigned, attached, and in exactly one region
+	for _, g := range ev.Model.Groups {
+		if _, ok := ev.GroupRegion[g.ID]; !ok {
+			t.Fatalf("group %s unassigned", g.ID)
+		}
+		if _, ok := ev.GroupAttach[g.ID]; !ok {
+			t.Fatalf("group %s unattached", g.ID)
+		}
+	}
+	if len(ev.BorderGroups) == 0 {
+		t.Fatal("no border groups detected")
+	}
+	// interdomain routes propagated to the root
+	if len(ev.H.Root.RouteOptions(ev.Table.Prefixes()[0])) == 0 {
+		t.Fatal("root has no interdomain routes")
+	}
+}
+
+func TestRunRoutingShape(t *testing.T) {
+	p := Small()
+	p.Prefixes = 80
+	out, err := RunRouting(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("results = %d", len(out.Results))
+	}
+	byName := map[string]RoutingResult{}
+	for _, r := range out.Results {
+		byName[r.Config.Name] = r
+		if r.Samples == 0 {
+			t.Fatalf("%s has no samples", r.Config.Name)
+		}
+		if r.Hops.Mean <= 0 || r.RTT.Mean <= 0 {
+			t.Fatalf("%s has non-positive means", r.Config.Name)
+		}
+	}
+	// The headline shape: more egress diversity → fewer hops; LTE worst.
+	lte := byName["LTE"].Hops.Mean
+	e2 := byName["2-egrs"].Hops.Mean
+	e8 := byName["8-egrs"].Hops.Mean
+	if e8 >= lte {
+		t.Fatalf("8-egress (%v) must beat LTE (%v)", e8, lte)
+	}
+	if e8 > e2 {
+		t.Fatalf("8-egress (%v) must not be worse than 2-egress (%v)", e8, e2)
+	}
+	if out.HopReductionPct <= 0 {
+		t.Fatalf("hop reduction = %v", out.HopReductionPct)
+	}
+	if out.RTT85ReductionPct <= 0 {
+		t.Fatalf("RTT85 reduction = %v", out.RTT85ReductionPct)
+	}
+	// CDF curves exist and are monotone
+	for _, r := range out.Results {
+		if len(r.RTTCDF) == 0 {
+			t.Fatalf("%s has no CDF", r.Config.Name)
+		}
+		for i := 1; i < len(r.RTTCDF); i++ {
+			if r.RTTCDF[i].X < r.RTTCDF[i-1].X {
+				t.Fatal("CDF not monotone")
+			}
+		}
+	}
+	if !strings.Contains(RenderRouting(out), "Figure 8") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunDiscoveryConvergenceShape(t *testing.T) {
+	ev := smallEval(t)
+	out := RunDiscoveryConvergence(ev)
+	if len(out.PerController) != 5 { // 4 leaves + root
+		t.Fatalf("controllers = %d", len(out.PerController))
+	}
+	for _, c := range out.PerController {
+		if c.SoftMoW <= 0 {
+			t.Fatalf("%s convergence = %v", c.Controller, c.SoftMoW)
+		}
+		// The paper's claim: every controller beats the flat baseline.
+		if c.SoftMoW >= out.FlatTotal {
+			t.Fatalf("%s (%v) should beat flat (%v)", c.Controller, c.SoftMoW, out.FlatTotal)
+		}
+		if c.SpeedupPct <= 0 {
+			t.Fatalf("%s speedup = %v", c.Controller, c.SpeedupPct)
+		}
+	}
+	if !strings.Contains(RenderDiscovery(out), "Figure 10") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunAbstractionStatsShape(t *testing.T) {
+	ev := smallEval(t)
+	out := RunAbstractionStats(ev)
+	if len(out.Rows) != 5 {
+		t.Fatalf("rows = %d", len(out.Rows))
+	}
+	for _, r := range out.Rows[:4] {
+		if r.ExposedPct <= 0 || r.ExposedPct >= 100 {
+			t.Fatalf("%s exposed pct = %v", r.Controller, r.ExposedPct)
+		}
+		if r.Ports <= r.ExposedPorts {
+			t.Fatalf("%s: exposed (%d) must be a strict subset of ports (%d)",
+				r.Controller, r.ExposedPorts, r.Ports)
+		}
+	}
+	if out.AvgLeafExposedPct <= 0 || out.AvgLeafExposedPct >= 100 {
+		t.Fatalf("avg exposed = %v", out.AvgLeafExposedPct)
+	}
+	// the paper's 73%-hidden claim: most links invisible at the root
+	if out.RootHiddenLinkPct < 50 {
+		t.Fatalf("root hidden links = %v%%, want a large majority", out.RootHiddenLinkPct)
+	}
+	if !strings.Contains(RenderAbstraction(out), "Table 1") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunLoadsShape(t *testing.T) {
+	ev := smallEval(t)
+	out := RunLoads(ev)
+	if len(out.Series) != 3*4 {
+		t.Fatalf("series = %d", len(out.Series))
+	}
+	var bearerMean, ueMean float64
+	for _, s := range out.Series {
+		if s.Summary.Min < 0 || s.Summary.Max <= 0 {
+			t.Fatalf("%s/%s: degenerate series %+v", s.Region, s.Kind, s.Summary)
+		}
+		// diurnal variation: max must clearly exceed min
+		if s.Summary.Max < 1.5*s.Summary.Min {
+			t.Fatalf("%s/%s: no diurnal variation (min=%v max=%v)",
+				s.Region, s.Kind, s.Summary.Min, s.Summary.Max)
+		}
+		switch s.Kind {
+		case LoadBearer:
+			bearerMean += s.Summary.Mean
+		case LoadUEArrival:
+			ueMean += s.Summary.Mean
+		}
+	}
+	// Fig. 11 shape: bearer arrivals dominate UE arrivals by orders of
+	// magnitude.
+	if bearerMean < 10*ueMean {
+		t.Fatalf("bearer (%v) should dwarf UE arrivals (%v)", bearerMean, ueMean)
+	}
+	if !strings.Contains(RenderLoads(out), "Figure 11a") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunRegionOptShape(t *testing.T) {
+	p := Small()
+	out, err := RunRegionOpt(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Windows) != Fig12Hours*60/Fig12WindowMinutes {
+		t.Fatalf("windows = %d", len(out.Windows))
+	}
+	for _, w := range out.Windows {
+		if w.Opt > w.NoOpt {
+			t.Fatalf("window %d: optimization increased handovers (%d > %d)",
+				w.StartMinute, w.Opt, w.NoOpt)
+		}
+	}
+	if out.ReductionPct <= 0 {
+		t.Fatalf("reduction = %v", out.ReductionPct)
+	}
+	if out.TotalMoves == 0 {
+		t.Fatal("optimizer made no moves")
+	}
+	if !strings.Contains(RenderRegionOpt([]*RegionOptOutcome{out}), "Figure 12") {
+		t.Fatal("render")
+	}
+}
+
+func TestRunLabelAblationShape(t *testing.T) {
+	out, err := RunLabelAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 4 {
+		t.Fatalf("runs = %d", len(out.Runs))
+	}
+	for _, r := range out.Runs {
+		if !r.Delivered {
+			t.Fatalf("levels=%d mode=%s: packet not delivered", r.Levels, r.Mode)
+		}
+		switch r.Mode {
+		case pathimpl.ModeSwap:
+			if r.MaxLabelDepth != 1 {
+				t.Fatalf("swap levels=%d depth=%d, want 1", r.Levels, r.MaxLabelDepth)
+			}
+		case pathimpl.ModeStack:
+			if r.MaxLabelDepth != r.Levels {
+				t.Fatalf("stack levels=%d depth=%d, want %d", r.Levels, r.MaxLabelDepth, r.Levels)
+			}
+		}
+		if r.OverheadBytesPerPacket != 4*r.MaxLabelDepth {
+			t.Fatal("overhead accounting")
+		}
+	}
+	if !strings.Contains(RenderLabels(out), "Ablation") {
+		t.Fatal("render")
+	}
+}
+
+func TestReplayTrace(t *testing.T) {
+	ev := smallEval(t)
+	stats, err := ReplayTrace(ev, 13*60, 13*60+2, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.Bearers == 0 {
+		t.Fatalf("empty replay: %+v", stats)
+	}
+	if stats.Delivered == 0 {
+		t.Fatalf("no packets delivered: %+v", stats)
+	}
+	// the vast majority of admitted bearers must deliver
+	if stats.Undelivered > stats.Delivered/4 {
+		t.Fatalf("too many undelivered: %+v", stats)
+	}
+	if stats.MaxLabelDepth > 1 {
+		t.Fatalf("label invariant broken during replay: %+v", stats)
+	}
+	if stats.IntraHandovers+stats.InterHandovers == 0 {
+		t.Fatalf("no handovers executed: %+v", stats)
+	}
+	// replay cleans up after itself: no active paths or reservations left
+	for _, c := range ev.H.All {
+		if n := c.NumPaths(); n != 0 {
+			t.Fatalf("%s leaked %d active paths", c.ID, n)
+		}
+	}
+	for _, l := range ev.Topo.Net.Links() {
+		if l.Available() != l.Bandwidth {
+			t.Fatalf("leaked reservation on %v", l)
+		}
+	}
+}
+
+func TestReplayTraceDeterministic(t *testing.T) {
+	a, err := ReplayTrace(smallEval(t), 13*60, 13*60+1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayTrace(smallEval(t), 13*60, 13*60+1, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("replay not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/ltetrace"
+	"repro/internal/metrics"
+)
+
+// Figure 11 (§7.4, "Cellular loads"): per-minute CDFs of bearer arrivals
+// (11a, up to 1e5/min per leaf), UE arrivals (11b, 1000–3000/min), and
+// handover requests (11c, 1000–4000/min) handled by each leaf controller
+// over balanced regions.
+
+// LoadKind selects the Fig. 11 panel.
+type LoadKind int
+
+const (
+	// LoadBearer is Fig. 11a.
+	LoadBearer LoadKind = iota
+	// LoadUEArrival is Fig. 11b.
+	LoadUEArrival
+	// LoadHandover is Fig. 11c.
+	LoadHandover
+)
+
+// String implements fmt.Stringer.
+func (k LoadKind) String() string {
+	switch k {
+	case LoadBearer:
+		return "bearer-arrivals"
+	case LoadUEArrival:
+		return "ue-arrivals"
+	case LoadHandover:
+		return "handovers"
+	default:
+		return fmt.Sprintf("load(%d)", int(k))
+	}
+}
+
+// RegionLoadSeries is one leaf's per-minute series and CDF for one panel.
+type RegionLoadSeries struct {
+	Region  string
+	Kind    LoadKind
+	Summary metrics.Summary
+	CDF     []metrics.Point
+}
+
+// LoadsOutcome is the Fig. 11 dataset.
+type LoadsOutcome struct {
+	Minutes int
+	Series  []RegionLoadSeries
+}
+
+// RunLoads regenerates Fig. 11 over one diurnal day.
+func RunLoads(ev *Eval) *LoadsOutcome {
+	const minutes = ltetrace.MinutesPerDay
+	k := len(ev.Regions)
+	assign := ev.BSRegion()
+
+	bearer := make([][]float64, k)
+	ue := make([][]float64, k)
+	ho := make([][]float64, k)
+	for m := 0; m < minutes; m++ {
+		b, u, h := ev.Model.RegionLoads(assign, k, m)
+		for r := 0; r < k; r++ {
+			bearer[r] = append(bearer[r], b[r])
+			ue[r] = append(ue[r], u[r])
+			ho[r] = append(ho[r], h[r])
+		}
+	}
+	out := &LoadsOutcome{Minutes: minutes}
+	add := func(kind LoadKind, data [][]float64) {
+		for r := 0; r < k; r++ {
+			out.Series = append(out.Series, RegionLoadSeries{
+				Region:  ev.RegionName(r),
+				Kind:    kind,
+				Summary: metrics.Summarize(data[r]),
+				CDF:     metrics.NewCDF(data[r]).Points(20),
+			})
+		}
+	}
+	add(LoadBearer, bearer)
+	add(LoadUEArrival, ue)
+	add(LoadHandover, ho)
+	return out
+}
+
+// RenderLoads formats Fig. 11 as three tables of per-region distribution
+// statistics.
+func RenderLoads(o *LoadsOutcome) string {
+	var s string
+	panel := map[LoadKind]string{
+		LoadBearer:    "Figure 11a — Bearer arrivals per minute per leaf",
+		LoadUEArrival: "Figure 11b — UE arrivals per minute per leaf",
+		LoadHandover:  "Figure 11c — Handover requests per minute per leaf",
+	}
+	for _, kind := range []LoadKind{LoadBearer, LoadUEArrival, LoadHandover} {
+		t := metrics.NewTable(panel[kind], "Leaf", "Min", "P25", "Median", "P75", "Max")
+		for _, rs := range o.Series {
+			if rs.Kind != kind {
+				continue
+			}
+			t.AddRow(rs.Region, rs.Summary.Min, rs.Summary.P25, rs.Summary.Median,
+				rs.Summary.P75, rs.Summary.Max)
+		}
+		s += t.String() + "\n"
+	}
+	return s
+}

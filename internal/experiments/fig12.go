@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/regionopt"
+	"repro/internal/dataplane"
+	"repro/internal/ltetrace"
+	"repro/internal/metrics"
+	"repro/internal/topo"
+)
+
+// Figure 12 (§7.4, "Optimization results"): inter-region handovers handled
+// by the root over 48 hours, for 4-region and 8-region configurations,
+// with and without the greedy region optimization. "The root runs the
+// reconfiguration algorithm every 3 hours ... each GS should not handle
+// more (less) than 30% of their maximum (minimum) initial cellular loads
+// ... the root can reduce the load of inter region handovers by 38.08% to
+// 44.61%."
+
+// Fig12Window is one 3-hour sample of the Fig. 12 series.
+type Fig12Window struct {
+	StartMinute int
+	NoOpt       int
+	Opt         int
+	Moves       int
+}
+
+// RegionOptOutcome is one curve pair (xGS and xGS,Opt) of Fig. 12.
+type RegionOptOutcome struct {
+	Regions      int
+	Windows      []Fig12Window
+	ReductionPct float64
+	TotalMoves   int
+}
+
+// Fig12Hours is the evaluation horizon.
+const Fig12Hours = 48
+
+// Fig12WindowMinutes is the reconfiguration period (3 h).
+const Fig12WindowMinutes = 3 * 60
+
+// LoadBoundPct is the ±30% constraint of §7.4.
+const LoadBoundPct = 0.30
+
+// MinutesPerDayWindows is the number of reconfiguration windows in one
+// diurnal day.
+const MinutesPerDayWindows = 24 * 60 / Fig12WindowMinutes
+
+// RunRegionOpt regenerates one Fig. 12 curve pair for the given region
+// count.
+func RunRegionOpt(p Params, numRegions int) (*RegionOptOutcome, error) {
+	pc := p
+	pc.Regions = numRegions
+	ev, err := BuildEval(pc)
+	if err != nil {
+		return nil, err
+	}
+	return runRegionOptOn(ev), nil
+}
+
+func runRegionOptOn(ev *Eval) *RegionOptOutcome {
+	model := ev.Model
+	k := len(ev.Regions)
+
+	regionName := func(i int) string { return ev.Regions[i].ID }
+	initial := make(map[dataplane.DeviceID]string, len(ev.GroupRegion))
+	for g, ri := range ev.GroupRegion {
+		initial[g] = regionName(ri)
+	}
+
+	// Region adjacency: regions joined by a physical cross-region link
+	// (the inter-G-switch links the initiator discovered, §5.3.1).
+	adjacent := regionAdjacency(ev.Topo, ev.Regions)
+
+	// Initial per-region control-plane load (UE arrivals per minute at a
+	// busy reference window) sets the ±30% bounds.
+	groupLoad := func(from, to int) map[dataplane.DeviceID]float64 {
+		loads := make(map[dataplane.DeviceID]float64, len(model.Groups))
+		for _, grp := range model.Groups {
+			var sum float64
+			for _, bs := range grp.Members() {
+				if i, ok := model.Index(bs); ok {
+					for m := from; m < to; m += 15 { // 15-min sampling
+						sum += model.UEArrivalRate(i, m)
+					}
+				}
+			}
+			loads[grp.ID] = sum / float64((to-from)/15)
+		}
+		return loads
+	}
+	// §7.4: "each GS should not handle more (less) than 30% of their
+	// maximum (minimum) initial cellular loads per minute" — the bounds
+	// derive from each region's diurnal maximum and minimum under the
+	// initial assignment.
+	bounds := make(map[string]regionopt.Bounds, k)
+	for w := 0; w < MinutesPerDayWindows; w++ {
+		start := w * Fig12WindowMinutes
+		loads := groupLoad(start, start+Fig12WindowMinutes)
+		regionLoad := make(map[string]float64, k)
+		for g, l := range loads {
+			regionLoad[initial[g]] += l
+		}
+		for r, l := range regionLoad {
+			b, ok := bounds[r]
+			if !ok {
+				b = regionopt.Bounds{Lower: l, Upper: l}
+			}
+			if l < b.Lower {
+				b.Lower = l
+			}
+			if l > b.Upper {
+				b.Upper = l
+			}
+			bounds[r] = b
+		}
+	}
+	for r, b := range bounds {
+		bounds[r] = regionopt.Bounds{Lower: b.Lower * (1 - LoadBoundPct), Upper: b.Upper * (1 + LoadBoundPct)}
+	}
+
+	out := &RegionOptOutcome{Regions: k}
+	optAssign := cloneAssign(initial)
+	var noOptTotal, optTotal int
+
+	for start := 0; start < Fig12Hours*60; start += Fig12WindowMinutes {
+		end := start + Fig12WindowMinutes
+		gGraph := model.HandoverGraphGroups(start, end)
+		loads := groupLoad(start, end)
+
+		noOpt := crossUnder(gGraph, initial)
+
+		// The root refines the abstract sub-regions using the current
+		// window's handover graph (§5.3.1): nodes are border G-BSes
+		// one-to-one plus one aggregated internal G-BS per region.
+		labeled, assign, movable := labelForAssignment(gGraph, optAssign)
+		load := make(map[dataplane.DeviceID]float64, len(assign))
+		for node := range assign {
+			if g, ok := nodeGroup(node); ok {
+				load[node] = loads[g]
+			}
+		}
+		res := regionopt.Optimize(regionopt.Problem{
+			Graph:   labeled,
+			Assign:  assign,
+			Movable: movable,
+			Load:    load,
+			Bounds:  bounds,
+			Adjacent: func(from, to string) bool {
+				return adjacent[[2]string{from, to}]
+			},
+		})
+		// Apply the moves back to the group-level assignment.
+		for _, mv := range res.Moves {
+			if g, ok := nodeGroup(mv.GBS); ok {
+				optAssign[g] = mv.To
+			}
+		}
+		out.Windows = append(out.Windows, Fig12Window{
+			StartMinute: start,
+			NoOpt:       noOpt,
+			Opt:         crossUnder(gGraph, optAssign),
+			Moves:       len(res.Moves),
+		})
+		out.TotalMoves += len(res.Moves)
+		noOptTotal += noOpt
+		optTotal = optTotal + out.Windows[len(out.Windows)-1].Opt
+	}
+	out.ReductionPct = metrics.ReductionPct(float64(noOptTotal), float64(optTotal))
+	return out
+}
+
+// crossUnder counts inter-region handovers in a group-level graph under a
+// group→region assignment.
+func crossUnder(g *ltetrace.HandoverGraph, assign map[dataplane.DeviceID]string) int {
+	total := 0
+	for _, e := range g.Edges() {
+		ra, oka := assign[e.Key.A]
+		rb, okb := assign[e.Key.B]
+		if oka && okb && ra != rb {
+			total += e.Weight
+		}
+	}
+	return total
+}
+
+// labelForAssignment builds the root's optimization view: border groups
+// (cross-region edges under the current assignment) stay one-to-one;
+// internal groups aggregate into one "I-<region>" node (§5.3.1 example).
+func labelForAssignment(g *ltetrace.HandoverGraph, groupAssign map[dataplane.DeviceID]string) (*ltetrace.HandoverGraph, regionopt.Assignment, map[dataplane.DeviceID]bool) {
+	border := make(map[dataplane.DeviceID]bool)
+	for _, e := range g.Edges() {
+		ra, oka := groupAssign[e.Key.A]
+		rb, okb := groupAssign[e.Key.B]
+		if oka && okb && ra != rb {
+			border[e.Key.A] = true
+			border[e.Key.B] = true
+		}
+	}
+	label := func(n dataplane.DeviceID) dataplane.DeviceID {
+		r, ok := groupAssign[n]
+		if !ok {
+			return n
+		}
+		if border[n] {
+			return n
+		}
+		return dataplane.DeviceID("I-" + r)
+	}
+	labeled := g.Relabel(label)
+	assign := regionopt.Assignment{}
+	movable := map[dataplane.DeviceID]bool{}
+	for n, r := range groupAssign {
+		if border[n] {
+			assign[n] = r
+			movable[n] = true
+		} else {
+			assign[dataplane.DeviceID("I-"+r)] = r
+		}
+	}
+	return labeled, assign, movable
+}
+
+// nodeGroup recovers the group ID from an optimization node (internal
+// aggregates are not groups).
+func nodeGroup(n dataplane.DeviceID) (dataplane.DeviceID, bool) {
+	if len(n) > 2 && n[:2] == "I-" {
+		return "", false
+	}
+	return n, true
+}
+
+// regionAdjacency derives which region pairs share a physical link.
+func regionAdjacency(t *topo.Topology, regions []topo.Region) map[[2]string]bool {
+	idx := topo.RegionOf(regions)
+	adj := make(map[[2]string]bool)
+	for _, l := range t.Net.Links() {
+		ra, oka := idx[l.A.Dev]
+		rb, okb := idx[l.B.Dev]
+		if oka && okb && ra != rb {
+			a, b := regions[ra].ID, regions[rb].ID
+			adj[[2]string{a, b}] = true
+			adj[[2]string{b, a}] = true
+		}
+	}
+	return adj
+}
+
+func cloneAssign(a map[dataplane.DeviceID]string) map[dataplane.DeviceID]string {
+	c := make(map[dataplane.DeviceID]string, len(a))
+	for k, v := range a {
+		c[k] = v
+	}
+	return c
+}
+
+// RenderRegionOpt formats one Fig. 12 curve pair.
+func RenderRegionOpt(outcomes []*RegionOptOutcome) string {
+	var s string
+	for _, o := range outcomes {
+		t := metrics.NewTable(
+			fmt.Sprintf("Figure 12 — Inter-region handovers per 3h window (%dGS)", o.Regions),
+			"Hour", "NoOpt", "Opt", "Moves")
+		for _, w := range o.Windows {
+			t.AddRow(w.StartMinute/60, w.NoOpt, w.Opt, w.Moves)
+		}
+		s += t.String() + fmt.Sprintf("Reduction: %.2f%% (paper: 38.08%%-44.61%%), total moves: %d\n\n",
+			o.ReductionPct, o.TotalMoves)
+	}
+	return s
+}

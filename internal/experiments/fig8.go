@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/metrics"
+)
+
+// Figures 8 and 9 (§7.2, "Routing Performance"): end-to-end hop count and
+// RTT as a function of the number of Internet egress points, against the
+// rigid-LTE baseline. "SoftMoW with 8 egress points can reduce the average
+// end-to-end hop count by 36% compared to LTE network ... the 75th and
+// 85th percentile RTT latencies reduce by 43% and 60%."
+
+// RoutingConfig is one curve of Figs. 8/9.
+type RoutingConfig struct {
+	Name   string
+	Egress int
+	// LTE marks the rigid baseline: every region's traffic exits through
+	// its single home PGW regardless of destination.
+	LTE bool
+}
+
+// RoutingConfigs returns the paper's four configurations. The rigid LTE
+// baseline has a single Internet edge (the region's PGW); SoftMoW's
+// inter-connected core offers 2/4/8 egress points with globally optimal
+// selection.
+func RoutingConfigs() []RoutingConfig {
+	return []RoutingConfig{
+		{Name: "LTE", Egress: 1, LTE: true},
+		{Name: "2-egrs", Egress: 2},
+		{Name: "4-egrs", Egress: 4},
+		{Name: "8-egrs", Egress: 8},
+	}
+}
+
+// RoutingResult is one configuration's measured distributions.
+type RoutingResult struct {
+	Config  RoutingConfig
+	Hops    metrics.Summary
+	RTT     metrics.Summary
+	RTTCDF  []metrics.Point
+	Samples int
+}
+
+// RoutingOutcome is the full Figs. 8/9 dataset.
+type RoutingOutcome struct {
+	Results []RoutingResult
+	// HopReductionPct is avg-hop reduction of the best SoftMoW config vs
+	// LTE (paper: 36%).
+	HopReductionPct float64
+	// RTT75/RTT85 reductions vs LTE (paper: 43% / 60%).
+	RTT75ReductionPct float64
+	RTT85ReductionPct float64
+}
+
+// maxRoutingSources caps the sampled G-BS sources per configuration.
+const maxRoutingSources = 24
+
+// RunRouting regenerates Figs. 8 and 9.
+func RunRouting(p Params) (*RoutingOutcome, error) {
+	out := &RoutingOutcome{}
+	var lte, best *RoutingResult
+	for _, cfg := range RoutingConfigs() {
+		pc := p
+		pc.Egress = cfg.Egress
+		ev, err := BuildEval(pc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := measureRouting(ev, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, *res)
+		if cfg.LTE {
+			lte = res
+		}
+		if !cfg.LTE && (best == nil || res.Hops.Mean < best.Hops.Mean) {
+			best = res
+		}
+	}
+	if lte != nil && best != nil {
+		out.HopReductionPct = metrics.ReductionPct(lte.Hops.Mean, best.Hops.Mean)
+		out.RTT75ReductionPct = metrics.ReductionPct(lte.RTT.P75, best.RTT.P75)
+		out.RTT85ReductionPct = metrics.ReductionPct(lte.RTT.P85, best.RTT.P85)
+	}
+	return out, nil
+}
+
+// measureRouting computes per-(source G-BS, prefix) end-to-end totals at
+// the root, over all interdomain snapshots ("To consider routing changes,
+// we replay the hop counts and latencies from multiple snapshots", §7.2).
+func measureRouting(ev *Eval, cfg RoutingConfig) (*RoutingResult, error) {
+	root := ev.H.Root
+	g := root.Graph()
+
+	// Source G-BS ports on the root's logical topology.
+	var sources []dataplane.PortRef
+	for _, d := range root.NIB.Devices(dataplane.KindGSwitch) {
+		for _, p := range d.Ports {
+			if p.Radio != "" {
+				sources = append(sources, dataplane.PortRef{Dev: d.ID, Port: p.ID})
+			}
+		}
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("experiments: no G-BS sources exposed")
+	}
+	if len(sources) > maxRoutingSources {
+		stride := len(sources) / maxRoutingSources
+		var sampled []dataplane.PortRef
+		for i := 0; i < len(sources) && len(sampled) < maxRoutingSources; i += stride {
+			sampled = append(sampled, sources[i])
+		}
+		sources = sampled
+	}
+
+	// Egress ports at the root, with their home leaf (G-switch).
+	type egressRef struct {
+		id  string
+		ref dataplane.PortRef
+	}
+	var egresses []egressRef
+	seen := map[string]bool{}
+	for _, opts := range rootOptionsByEgress(ev) {
+		if seen[opts.id] {
+			continue
+		}
+		seen[opts.id] = true
+		egresses = append(egresses, egressRef{id: opts.id, ref: opts.ref})
+	}
+	if len(egresses) == 0 {
+		return nil, fmt.Errorf("experiments: no egress options at root")
+	}
+
+	// One SSSP per source gives internal metrics to every egress.
+	type internal struct {
+		hops int
+		lat  time.Duration
+		ok   bool
+	}
+	internalTo := make([]map[string]internal, len(sources))
+	for i, src := range sources {
+		row := g.MetricsFrom(src)
+		m := make(map[string]internal, len(egresses))
+		for _, e := range egresses {
+			if pm, ok := row[e.ref]; ok && pm.Reachable {
+				m[e.id] = internal{hops: pm.Hops, lat: pm.Latency, ok: true}
+			}
+		}
+		internalTo[i] = m
+	}
+
+	// LTE baseline: a source's region always exits via its home egress —
+	// the egress whose switch shares the source's region (nearest by
+	// internal hops stands in when a region hosts no egress).
+	homeEgress := make([]string, len(sources))
+	for i := range sources {
+		bestID, bestHops := "", int(1)<<30
+		for _, e := range egresses {
+			if m, ok := internalTo[i][e.id]; ok && m.hops < bestHops {
+				bestID, bestHops = e.id, m.hops
+			}
+		}
+		homeEgress[i] = bestID
+	}
+
+	var hops, rtts []float64
+	for snap := 0; snap < ev.Table.Snapshots(); snap++ {
+		for _, pfx := range ev.Table.Prefixes() {
+			for i := range sources {
+				var totalHops int
+				var totalRTT time.Duration
+				found := false
+				if cfg.LTE {
+					id := homeEgress[i]
+					m, ok := internalTo[i][id]
+					if !ok {
+						continue
+					}
+					ext, ok2 := ev.Table.Lookup(snap, id, pfx)
+					if !ok2 {
+						continue
+					}
+					totalHops = m.hops + ext.Hops
+					totalRTT = 2*m.lat + ext.RTT
+					found = true
+				} else {
+					for _, e := range egresses {
+						m, ok := internalTo[i][e.id]
+						if !ok {
+							continue
+						}
+						ext, ok2 := ev.Table.Lookup(snap, e.id, pfx)
+						if !ok2 {
+							continue
+						}
+						th := m.hops + ext.Hops
+						tr := 2*m.lat + ext.RTT
+						if !found || th < totalHops || (th == totalHops && tr < totalRTT) {
+							totalHops, totalRTT, found = th, tr, true
+						}
+					}
+				}
+				if found {
+					hops = append(hops, float64(totalHops))
+					rtts = append(rtts, float64(totalRTT)/float64(time.Millisecond))
+				}
+			}
+		}
+	}
+	return &RoutingResult{
+		Config:  cfg,
+		Hops:    metrics.Summarize(hops),
+		RTT:     metrics.Summarize(rtts),
+		RTTCDF:  metrics.NewCDF(rtts).Points(40),
+		Samples: len(hops),
+	}, nil
+}
+
+type rootEgressOption struct {
+	id  string
+	ref dataplane.PortRef
+}
+
+// rootOptionsByEgress lists the root's egress ports by egress ID, derived
+// from the propagated interdomain routes.
+func rootOptionsByEgress(ev *Eval) []rootEgressOption {
+	var out []rootEgressOption
+	seen := map[string]bool{}
+	for _, pfx := range ev.Table.Prefixes() {
+		for _, opt := range ev.H.Root.RouteOptions(interdomain.PrefixID(pfx)) {
+			if !seen[opt.Egress] {
+				seen[opt.Egress] = true
+				out = append(out, rootEgressOption{id: opt.Egress, ref: opt.Ref})
+			}
+		}
+		if len(seen) > 0 {
+			break // one prefix carries all egresses
+		}
+	}
+	return out
+}
+
+// RenderRouting formats the Fig. 8 table and Fig. 9 percentiles.
+func RenderRouting(o *RoutingOutcome) string {
+	t := metrics.NewTable("Figure 8 — End-to-end hop counts (internal + external)",
+		"Config", "Mean", "P25", "Median", "P75", "Max", "Samples")
+	for _, r := range o.Results {
+		t.AddRow(r.Config.Name, r.Hops.Mean, r.Hops.P25, r.Hops.Median, r.Hops.P75, r.Hops.Max, r.Samples)
+	}
+	t2 := metrics.NewTable("Figure 9 — End-to-end RTT (ms)",
+		"Config", "Mean", "P50", "P75", "P85", "P95")
+	for _, r := range o.Results {
+		t2.AddRow(r.Config.Name, r.RTT.Mean, r.RTT.Median, r.RTT.P75, r.RTT.P85, r.RTT.P95)
+	}
+	return t.String() + "\n" + t2.String() + fmt.Sprintf(
+		"\nHop reduction (best vs LTE): %.1f%% (paper: 36%%)\nRTT reductions P75/P85: %.1f%% / %.1f%% (paper: 43%% / 60%%)\n",
+		o.HopReductionPct, o.RTT75ReductionPct, o.RTT85ReductionPct)
+}

@@ -1,0 +1,257 @@
+// Package ha implements SoftMoW's controller failure recovery (§6): every
+// logical node in the controller tree runs a master and a hot-standby
+// instance sharing a reliable NIB store and event log. The standby detects
+// master failure via heartbeats and takes over immediately, redoing any
+// events the master logged but did not finish.
+//
+// Heartbeats run on virtual time (internal/simnet) so failover behaviour is
+// deterministic and testable.
+package ha
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/nib"
+	"repro/internal/simnet"
+)
+
+// Role is an instance's current role.
+type Role int
+
+const (
+	// RoleStandby observes and waits.
+	RoleStandby Role = iota
+	// RoleMaster processes events.
+	RoleMaster
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == RoleMaster {
+		return "master"
+	}
+	return "standby"
+}
+
+// SharedStore is the reliable storage both instances share (§6: "NIB is
+// decoupled from the controller logic and stored in a reliable storage
+// system (e.g. Zookeeper). The NIB is shared between the master and
+// standby").
+type SharedStore struct {
+	NIB *nib.NIB
+	Log *nib.EventLog
+}
+
+// NewSharedStore creates a store with a fresh NIB (whose event log is
+// reused as the shared log).
+func NewSharedStore() *SharedStore {
+	n := nib.New()
+	return &SharedStore{NIB: n, Log: n.Log()}
+}
+
+// Instance is one controller instance of a logical node.
+type Instance struct {
+	ID string
+
+	mu    sync.Mutex
+	role  Role
+	alive bool
+	// redo is invoked for each unfinished log entry on promotion.
+	redo func(nib.LogEntry)
+	// processed counts events this instance fully handled.
+	processed int
+}
+
+// NewInstance creates a live instance in the given role.
+func NewInstance(id string, role Role, redo func(nib.LogEntry)) *Instance {
+	return &Instance{ID: id, role: role, alive: true, redo: redo}
+}
+
+// Role returns the current role.
+func (i *Instance) Role() Role {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.role
+}
+
+// Alive reports liveness.
+func (i *Instance) Alive() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.alive
+}
+
+// Processed reports how many events this instance completed.
+func (i *Instance) Processed() int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.processed
+}
+
+// Pair manages a master/standby instance pair over a shared store.
+type Pair struct {
+	Store *SharedStore
+
+	// HeartbeatInterval is how often the master beats.
+	HeartbeatInterval time.Duration
+	// FailureTimeout is how long the standby waits before declaring the
+	// master dead (must exceed HeartbeatInterval).
+	FailureTimeout time.Duration
+
+	mu       sync.Mutex
+	sim      *simnet.Sim
+	master   *Instance
+	standby  *Instance
+	lastBeat time.Duration
+	// Failovers counts promotions.
+	Failovers int
+}
+
+// NewPair creates a pair with default timing (100 ms beats, 350 ms
+// timeout) and starts the heartbeat machinery on the simulator.
+func NewPair(sim *simnet.Sim, store *SharedStore, masterID, standbyID string, redo func(nib.LogEntry)) *Pair {
+	p := &Pair{
+		Store:             store,
+		HeartbeatInterval: 100 * time.Millisecond,
+		FailureTimeout:    350 * time.Millisecond,
+		sim:               sim,
+		master:            NewInstance(masterID, RoleMaster, redo),
+		standby:           NewInstance(standbyID, RoleStandby, redo),
+		lastBeat:          sim.Now(),
+	}
+	p.scheduleBeat()
+	p.scheduleCheck()
+	return p
+}
+
+// Master returns the current master instance (nil if both failed).
+func (p *Pair) Master() *Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.master != nil && p.master.Alive() && p.master.Role() == RoleMaster {
+		return p.master
+	}
+	if p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleMaster {
+		return p.standby
+	}
+	return nil
+}
+
+// Standby returns the standby instance (nil after promotion or failure).
+func (p *Pair) Standby() *Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleStandby {
+		return p.standby
+	}
+	return nil
+}
+
+// HandleEvent runs one control-plane event through the write-ahead log
+// discipline: log arrival → process → mark done. Returns an error when no
+// master is available.
+func (p *Pair) HandleEvent(kind string, payload interface{}, process func()) error {
+	m := p.Master()
+	if m == nil {
+		return fmt.Errorf("ha: no live master")
+	}
+	id := p.Store.Log.Append(kind, payload)
+	process()
+	p.Store.Log.MarkDone(id)
+	m.mu.Lock()
+	m.processed++
+	m.mu.Unlock()
+	return nil
+}
+
+// LogOnly records an event arrival without completing it — used to model a
+// master crashing mid-event.
+func (p *Pair) LogOnly(kind string, payload interface{}) uint64 {
+	return p.Store.Log.Append(kind, payload)
+}
+
+// KillMaster fails the master instance; the standby will detect the missed
+// heartbeats and promote itself.
+func (p *Pair) KillMaster() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.master != nil {
+		p.master.mu.Lock()
+		p.master.alive = false
+		p.master.mu.Unlock()
+	}
+}
+
+func (p *Pair) scheduleBeat() {
+	p.sim.After(p.HeartbeatInterval, func() {
+		p.mu.Lock()
+		if p.master != nil && p.master.Alive() {
+			p.lastBeat = p.sim.Now()
+		}
+		p.mu.Unlock()
+		p.scheduleBeat()
+	})
+}
+
+func (p *Pair) scheduleCheck() {
+	p.sim.After(p.FailureTimeout / 2, func() {
+		p.check()
+		p.scheduleCheck()
+	})
+}
+
+func (p *Pair) check() {
+	p.mu.Lock()
+	stale := p.sim.Now()-p.lastBeat > p.FailureTimeout
+	canPromote := stale && p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleStandby &&
+		(p.master == nil || !p.master.Alive())
+	p.mu.Unlock()
+	if !canPromote {
+		return
+	}
+	p.promote()
+}
+
+// promote switches the standby to master and redoes unfinished events (§6:
+// "the hot standby detects this and immediately checks the event logs and
+// redo unfinished events").
+func (p *Pair) promote() {
+	p.mu.Lock()
+	s := p.standby
+	if s == nil {
+		p.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	s.role = RoleMaster
+	redo := s.redo
+	s.mu.Unlock()
+	p.Failovers++
+	p.mu.Unlock()
+
+	for _, entry := range p.Store.Log.Unfinished() {
+		if redo != nil {
+			redo(entry)
+		}
+		p.Store.Log.MarkDone(entry.ID)
+		s.mu.Lock()
+		s.processed++
+		s.mu.Unlock()
+	}
+}
+
+// MasterCount reports how many live instances currently claim mastership —
+// must never exceed 1.
+func (p *Pair) MasterCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	count := 0
+	for _, in := range []*Instance{p.master, p.standby} {
+		if in != nil && in.Alive() && in.Role() == RoleMaster {
+			count++
+		}
+	}
+	return count
+}

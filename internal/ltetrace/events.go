@@ -1,0 +1,150 @@
+package ltetrace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/simnet"
+)
+
+// EventKind classifies trace events (the paper's trace is bearer-level and
+// "includes various events such as radio bearer creation, UE arrival to
+// the network, UE handover between base stations", §7.1).
+type EventKind int
+
+const (
+	// EvUEAttach is a UE arriving to the network (device power-on).
+	EvUEAttach EventKind = iota
+	// EvUEDetach is a UE going idle/leaving.
+	EvUEDetach
+	// EvBearerCreate is a radio-bearer creation.
+	EvBearerCreate
+	// EvBearerDelete is a radio-bearer timeout/deletion.
+	EvBearerDelete
+	// EvHandover is a UE handover between base stations.
+	EvHandover
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvUEAttach:
+		return "ue-attach"
+	case EvUEDetach:
+		return "ue-detach"
+	case EvBearerCreate:
+		return "bearer-create"
+	case EvBearerDelete:
+		return "bearer-delete"
+	case EvHandover:
+		return "handover"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	UE   string
+	BS   dataplane.DeviceID
+	// Target is the handover target BS (EvHandover only).
+	Target dataplane.DeviceID
+	// QoS is the bearer QoS class (EvBearerCreate only).
+	QoS int
+}
+
+// SampleEvents draws a concrete event stream for minutes [from, to),
+// thinning every rate by scale (0 < scale ≤ 1) so integration tests can run
+// at laptop scale while preserving the trace's structure. Events are in
+// nondecreasing time order.
+func (m *Model) SampleEvents(from, to int, scale float64) []Event {
+	if scale <= 0 {
+		return nil
+	}
+	if scale > 1 {
+		scale = 1
+	}
+	rng := simnet.RNG(m.Params.Seed, fmt.Sprintf("events/%d-%d", from, to))
+	var events []Event
+	ueSeq := 0
+	nextUE := func() string {
+		ueSeq++
+		return fmt.Sprintf("ue%07d", ueSeq%m.Params.NumUEs)
+	}
+	for minute := from; minute < to; minute++ {
+		base := time.Duration(minute) * time.Minute
+		for i, id := range m.BSIDs {
+			jitter := func() time.Duration {
+				return time.Duration(rng.Int63n(int64(time.Minute)))
+			}
+			for c := poisson(rng, m.UEArrivalRate(i, minute)*scale); c > 0; c-- {
+				events = append(events, Event{At: base + jitter(), Kind: EvUEAttach, UE: nextUE(), BS: id})
+			}
+			for c := poisson(rng, m.BearerRate(i, minute)*scale); c > 0; c-- {
+				events = append(events, Event{
+					At: base + jitter(), Kind: EvBearerCreate, UE: nextUE(), BS: id,
+					QoS: 1 + rng.Intn(4),
+				})
+			}
+			for c := poisson(rng, m.HandoverRate(i, minute)*scale); c > 0; c-- {
+				tgt := m.pickNeighbor(rng, i)
+				events = append(events, Event{
+					At: base + jitter(), Kind: EvHandover, UE: nextUE(),
+					BS: id, Target: m.BSIDs[tgt],
+				})
+			}
+		}
+	}
+	sortEvents(events)
+	return events
+}
+
+// pickNeighbor draws a handover target by gravity share.
+func (m *Model) pickNeighbor(rng interface{ Float64() float64 }, i int) int {
+	u := rng.Float64()
+	var acc float64
+	for x, s := range m.shares[i] {
+		acc += s
+		if u <= acc {
+			return m.neighbors[i][x]
+		}
+	}
+	return m.neighbors[i][len(m.neighbors[i])-1]
+}
+
+// poisson draws a Poisson variate with mean lambda (Knuth for small means,
+// normal approximation above 30).
+func poisson(rng interface {
+	Float64() float64
+	NormFloat64() float64
+}, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(math.Round(lambda + math.Sqrt(lambda)*rng.NormFloat64()))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+}

@@ -1,0 +1,37 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// ExampleSummarize shows the five-number summary the experiment drivers
+// report for every distribution.
+func ExampleSummarize() {
+	s := metrics.Summarize([]float64{10, 20, 30, 40, 50})
+	fmt.Printf("min=%.0f median=%.0f max=%.0f mean=%.0f\n", s.Min, s.Median, s.Max, s.Mean)
+	// Output: min=10 median=30 max=50 mean=30
+}
+
+// ExampleNewCDF shows empirical-CDF queries as used for the Fig. 9 and
+// Fig. 11 curves.
+func ExampleNewCDF() {
+	c := metrics.NewCDF([]float64{1, 2, 3, 4})
+	fmt.Printf("P[X<=2]=%.2f  p75=%.0f\n", c.At(2), c.Inverse(0.75))
+	// Output: P[X<=2]=0.50  p75=3
+}
+
+// ExampleTable renders experiment output in the paper's table style.
+func ExampleTable() {
+	t := metrics.NewTable("Demo", "Leaf", "Links")
+	t.AddRow("A", 80)
+	t.AddRow("B", 99)
+	fmt.Print(t.String())
+	// Output:
+	// Demo
+	// Leaf  Links
+	// -----------
+	// A     80
+	// B     99
+}

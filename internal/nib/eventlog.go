@@ -1,0 +1,90 @@
+package nib
+
+import (
+	"sync"
+)
+
+// EventLog implements the §6 failure-recovery discipline: "When the master
+// controller receives an event, it first logs the event arrival in the NIB,
+// and then processes it. When the master fails, the hot standby ... checks
+// the event logs and redoes unfinished events."
+//
+// Entries move through logged → done; a standby replays all logged-but-not-
+// done entries on promotion.
+type EventLog struct {
+	mu      sync.Mutex
+	entries map[uint64]*LogEntry
+	order   []uint64
+	nextID  uint64
+}
+
+// LogEntry is one logged control-plane event.
+type LogEntry struct {
+	ID   uint64
+	Kind string
+	// Payload carries whatever the application needs to redo the event.
+	Payload interface{}
+	Done    bool
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog {
+	return &EventLog{entries: make(map[uint64]*LogEntry)}
+}
+
+// Append records an event arrival and returns its ID. Call MarkDone once
+// the event has been fully processed.
+func (l *EventLog) Append(kind string, payload interface{}) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	id := l.nextID
+	l.nextID++
+	l.entries[id] = &LogEntry{ID: id, Kind: kind, Payload: payload}
+	l.order = append(l.order, id)
+	return id
+}
+
+// MarkDone marks an entry processed. Unknown IDs are ignored.
+func (l *EventLog) MarkDone(id uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e, ok := l.entries[id]; ok {
+		e.Done = true
+	}
+}
+
+// Unfinished returns copies of all logged-but-not-done entries in arrival
+// order — exactly what a promoted standby must redo.
+func (l *EventLog) Unfinished() []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []LogEntry
+	for _, id := range l.order {
+		if e := l.entries[id]; e != nil && !e.Done {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Len reports the total number of logged entries.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Compact drops completed entries, bounding memory on long runs.
+func (l *EventLog) Compact() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.order[:0]
+	for _, id := range l.order {
+		if e := l.entries[id]; e != nil && !e.Done {
+			kept = append(kept, id)
+		} else {
+			delete(l.entries, id)
+		}
+	}
+	l.order = kept
+}

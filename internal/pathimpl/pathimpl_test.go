@@ -1,0 +1,204 @@
+package pathimpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataplane"
+)
+
+func TestAllocatorDisjointRanges(t *testing.T) {
+	a := NewAllocator(0)
+	b := NewAllocator(1)
+	seen := map[dataplane.Label]bool{}
+	for i := 0; i < 1000; i++ {
+		la, lb := a.Next(), b.Next()
+		if seen[la] || seen[lb] || la == lb {
+			t.Fatal("label collision")
+		}
+		seen[la], seen[lb] = true, true
+		if Owner(la) != 0 {
+			t.Fatalf("owner of %d = %d", la, Owner(la))
+		}
+		if Owner(lb) != 1 {
+			t.Fatalf("owner of %d = %d", lb, Owner(lb))
+		}
+	}
+}
+
+func TestAllocatorNeverNoLabel(t *testing.T) {
+	a := NewAllocator(0)
+	for i := 0; i < 100; i++ {
+		if a.Next() == dataplane.NoLabel {
+			t.Fatal("allocated NoLabel")
+		}
+	}
+}
+
+func TestAllocatorRecycle(t *testing.T) {
+	a := NewAllocator(3)
+	l1 := a.Next()
+	a.Release(l1)
+	if got := a.Next(); got != l1 {
+		t.Fatalf("recycled = %d, want %d", got, l1)
+	}
+}
+
+func TestAllocatorBadIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAllocator(-1)
+}
+
+// Property: labels from distinct allocators never collide, and Owner
+// round-trips.
+func TestAllocatorOwnerQuick(t *testing.T) {
+	f := func(idx uint8, draws uint8) bool {
+		a := NewAllocator(int(idx))
+		for i := 0; i < int(draws%50)+1; i++ {
+			if Owner(a.Next()) != int(idx) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassifyRuleShape(t *testing.T) {
+	m := dataplane.Match{InPort: dataplane.PortAny, UE: "ue1", QoS: -1}
+	r := ClassifyRule(m, 500, 3, "C1", 7)
+	if !r.Match.MatchNoLabel {
+		t.Fatal("classification must match unlabeled packets only")
+	}
+	if r.Match.HasLabel {
+		t.Fatal("classification must not match a label")
+	}
+	if len(r.Actions) != 2 || r.Actions[0].Op != dataplane.OpPushLabel || r.Actions[1].Op != dataplane.OpOutput {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+	if r.Owner != "C1" || r.Version != 7 {
+		t.Fatal("metadata lost")
+	}
+}
+
+func TestTransitRuleShape(t *testing.T) {
+	r := TransitRule(500, 1, 2, "C1", 1)
+	if !r.Match.HasLabel || r.Match.Label != 500 || r.Match.InPort != 1 {
+		t.Fatalf("match = %+v", r.Match)
+	}
+	if len(r.Actions) != 1 || r.Actions[0] != dataplane.Output(2) {
+		t.Fatalf("actions = %v", r.Actions)
+	}
+}
+
+// applyRule runs a rule's actions against a packet and returns the output
+// port, mimicking the dataplane engine for shape checks.
+func applyRule(r dataplane.Rule, p *dataplane.Packet) dataplane.PortID {
+	for _, a := range r.Actions {
+		switch a.Op {
+		case dataplane.OpPushLabel:
+			p.PushLabel(a.Label)
+		case dataplane.OpPopLabel:
+			p.PopLabel()
+		case dataplane.OpSwapLabel:
+			p.SwapLabel(a.Label)
+		case dataplane.OpOutput:
+			return a.Port
+		}
+	}
+	return -1
+}
+
+func TestSwapModeKeepsDepthOne(t *testing.T) {
+	parent, local := dataplane.Label(1<<20|1), dataplane.Label(2<<20|1)
+	p := &dataplane.Packet{}
+	p.PushLabel(parent)
+
+	in := IngressRule(ModeSwap, parent, local, 1, 2, "C", 1)
+	if !in.Match.Matches(1, p) {
+		t.Fatal("ingress rule must match parent-labeled packet")
+	}
+	applyRule(in, p)
+	if p.LabelDepth() != 1 {
+		t.Fatalf("swap ingress depth = %d", p.LabelDepth())
+	}
+	if l, _ := p.TopLabel(); l != local {
+		t.Fatalf("top = %d", l)
+	}
+
+	out := EgressRule(ModeSwap, local, parent, 3, 4, "C", 1)
+	if !out.Match.Matches(3, p) {
+		t.Fatal("egress rule must match local-labeled packet")
+	}
+	applyRule(out, p)
+	if p.LabelDepth() != 1 {
+		t.Fatalf("swap egress depth = %d", p.LabelDepth())
+	}
+	if l, _ := p.TopLabel(); l != parent {
+		t.Fatalf("parent label not restored: %d", l)
+	}
+	if p.MaxLabelDepth != 1 {
+		t.Fatalf("swap mode max depth = %d, must stay 1", p.MaxLabelDepth)
+	}
+}
+
+func TestStackModeGrowsDepth(t *testing.T) {
+	parent, local := dataplane.Label(1<<20|1), dataplane.Label(2<<20|1)
+	p := &dataplane.Packet{}
+	p.PushLabel(parent)
+
+	in := IngressRule(ModeStack, parent, local, 1, 2, "C", 1)
+	applyRule(in, p)
+	if p.LabelDepth() != 2 {
+		t.Fatalf("stack ingress depth = %d", p.LabelDepth())
+	}
+	out := EgressRule(ModeStack, local, parent, 3, 4, "C", 1)
+	applyRule(out, p)
+	if p.LabelDepth() != 1 {
+		t.Fatalf("stack egress depth = %d", p.LabelDepth())
+	}
+	if l, _ := p.TopLabel(); l != parent {
+		t.Fatalf("parent label must re-expose: %d", l)
+	}
+	if p.MaxLabelDepth != 2 {
+		t.Fatalf("stack mode max depth = %d, want 2", p.MaxLabelDepth)
+	}
+}
+
+func TestTerminalRulePopsAndDelivers(t *testing.T) {
+	p := &dataplane.Packet{}
+	p.PushLabel(99)
+	r := TerminalRule(99, 1, 7, "C", 1)
+	port := applyRule(r, p)
+	if port != 7 {
+		t.Fatalf("out port = %d", port)
+	}
+	if p.LabelDepth() != 0 {
+		t.Fatal("terminal rule must pop")
+	}
+}
+
+func TestVersionCounter(t *testing.T) {
+	var c VersionCounter
+	if c.Current() != 0 {
+		t.Fatal("initial version")
+	}
+	if c.Next() != 1 || c.Next() != 2 {
+		t.Fatal("sequence")
+	}
+	if c.Current() != 2 {
+		t.Fatal("current")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeSwap.String() != "swap" || ModeStack.String() != "stack" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/nib"
+)
+
+// gridNIB builds an n×n switch grid with 4 ports per switch.
+func gridNIB(n int) *nib.NIB {
+	nb := nib.New()
+	id := func(r, c int) dataplane.DeviceID {
+		return dataplane.DeviceID(fmt.Sprintf("SW%02d%02d", r, c))
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			nb.PutDevice(nib.Device{ID: id(r, c), Kind: dataplane.KindSwitch,
+				Ports: []nib.PortRecord{{ID: 1, Up: true}, {ID: 2, Up: true}, {ID: 3, Up: true}, {ID: 4, Up: true}}})
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				nb.PutLink(nib.Link{A: dataplane.PortRef{Dev: id(r, c), Port: 1},
+					B: dataplane.PortRef{Dev: id(r, c+1), Port: 2},
+					Latency: 5 * time.Millisecond, Bandwidth: 1000, Up: true})
+			}
+			if r+1 < n {
+				nb.PutLink(nib.Link{A: dataplane.PortRef{Dev: id(r, c), Port: 3},
+					B: dataplane.PortRef{Dev: id(r+1, c), Port: 4},
+					Latency: 5 * time.Millisecond, Bandwidth: 1000, Up: true})
+			}
+		}
+	}
+	return nb
+}
+
+// BenchmarkBuildGraph measures routing-graph construction over a
+// 324-switch NIB (the evaluation's scale class).
+func BenchmarkBuildGraph(b *testing.B) {
+	nb := gridNIB(18)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := BuildGraph(nb)
+		if g.NumNodes() == 0 {
+			b.Fatal("empty graph")
+		}
+	}
+}
+
+// BenchmarkShortestPath measures one corner-to-corner constrained Dijkstra.
+func BenchmarkShortestPath(b *testing.B) {
+	g := BuildGraph(gridNIB(18))
+	src := dataplane.PortRef{Dev: "SW0000", Port: 1}
+	dst := dataplane.PortRef{Dev: "SW1717", Port: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.ShortestPath(src, dst, MinHops, Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetricsFrom measures one SSSP sweep (the per-port fabric fill).
+func BenchmarkMetricsFrom(b *testing.B) {
+	g := BuildGraph(gridNIB(18))
+	src := dataplane.PortRef{Dev: "SW0909", Port: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if row := g.MetricsFrom(src); len(row) == 0 {
+			b.Fatal("empty row")
+		}
+	}
+}

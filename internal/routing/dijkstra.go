@@ -1,0 +1,303 @@
+package routing
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/dataplane"
+)
+
+// Objective selects the path-cost order.
+type Objective int
+
+const (
+	// MinHops minimizes hop count, breaking ties by latency (the paper's
+	// default for internal path computation, §4.2).
+	MinHops Objective = iota
+	// MinLatency minimizes latency, breaking ties by hops (for
+	// delay-sensitive service policies, §2.2).
+	MinLatency
+)
+
+// Constraints bound admissible paths (from bearer-request QoS, §5.1).
+// Zero values mean unconstrained.
+type Constraints struct {
+	MaxHops    int
+	MaxLatency time.Duration
+	// MinBandwidth requires every traversed edge to have at least this
+	// many Mbps available.
+	MinBandwidth float64
+}
+
+// Cost is a path's accumulated metrics.
+type Cost struct {
+	Hops    int
+	Latency time.Duration
+	// Bottleneck is the minimum available bandwidth along the path.
+	Bottleneck float64
+}
+
+// less orders costs under an objective (lexicographic).
+func (c Cost) less(o Cost, obj Objective) bool {
+	if obj == MinLatency {
+		if c.Latency != o.Latency {
+			return c.Latency < o.Latency
+		}
+		return c.Hops < o.Hops
+	}
+	if c.Hops != o.Hops {
+		return c.Hops < o.Hops
+	}
+	return c.Latency < o.Latency
+}
+
+// violates reports whether the cost breaks constraints.
+func (c Cost) violates(ct Constraints) bool {
+	if ct.MaxHops > 0 && c.Hops > ct.MaxHops {
+		return true
+	}
+	if ct.MaxLatency > 0 && c.Latency > ct.MaxLatency {
+		return true
+	}
+	return false
+}
+
+// Path is a computed route: the port-ref sequence alternating device
+// traversals and link crossings, plus total cost.
+type Path struct {
+	// Points is the node sequence (device, port) from source to
+	// destination, inclusive.
+	Points []dataplane.PortRef
+	Cost   Cost
+	// LinkCrossings marks, for each step i → i+1, whether it is a link
+	// crossing (true) or an intra-device traversal (false).
+	LinkCrossings []bool
+}
+
+// Devices returns the distinct device sequence along the path.
+func (p *Path) Devices() []dataplane.DeviceID {
+	var out []dataplane.DeviceID
+	for _, pt := range p.Points {
+		if len(out) == 0 || out[len(out)-1] != pt.Dev {
+			out = append(out, pt.Dev)
+		}
+	}
+	return out
+}
+
+// Segments returns per-device (device, inPort, outPort) triples: the unit
+// of rule installation. The first segment's inPort is the source point's
+// port; the last segment's outPort is the destination port.
+func (p *Path) Segments() []Segment {
+	var segs []Segment
+	i := 0
+	for i < len(p.Points) {
+		j := i
+		for j+1 < len(p.Points) && p.Points[j+1].Dev == p.Points[i].Dev {
+			j++
+		}
+		segs = append(segs, Segment{
+			Dev:     p.Points[i].Dev,
+			InPort:  p.Points[i].Port,
+			OutPort: p.Points[j].Port,
+		})
+		i = j + 1
+	}
+	return segs
+}
+
+// Segment is one device's traversal along a path.
+type Segment struct {
+	Dev     dataplane.DeviceID
+	InPort  dataplane.PortID
+	OutPort dataplane.PortID
+}
+
+// ErrNoPath is returned when no admissible path exists.
+var ErrNoPath = errors.New("routing: no admissible path")
+
+type pqItem struct {
+	node  int
+	cost  Cost
+	index int
+}
+
+type pq struct {
+	items []*pqItem
+	obj   Objective
+}
+
+func (q pq) Len() int            { return len(q.items) }
+func (q pq) Less(i, j int) bool  { return q.items[i].cost.less(q.items[j].cost, q.obj) }
+func (q pq) Swap(i, j int)       { q.items[i], q.items[j] = q.items[j], q.items[i]; q.items[i].index = i; q.items[j].index = j }
+func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.index = len(q.items); q.items = append(q.items, it) }
+func (q *pq) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	q.items = old[:n-1]
+	return it
+}
+
+// ShortestPath computes the optimal path from src to dst under the
+// objective and constraints. src and dst are port refs present in the
+// graph.
+func (g *Graph) ShortestPath(src, dst dataplane.PortRef, obj Objective, ct Constraints) (*Path, error) {
+	s, ok := g.nodes[src]
+	if !ok {
+		return nil, ErrNoPath
+	}
+	d, ok := g.nodes[dst]
+	if !ok {
+		return nil, ErrNoPath
+	}
+	n := len(g.refs)
+	dist := make([]Cost, n)
+	seen := make([]bool, n)
+	prev := make([]int, n)
+	prevLink := make([]bool, n)
+	for i := range dist {
+		dist[i] = Cost{Hops: math.MaxInt32, Latency: time.Duration(math.MaxInt64 / 4), Bottleneck: 0}
+		prev[i] = -1
+	}
+	dist[s] = Cost{Bottleneck: math.Inf(1)}
+	q := &pq{obj: obj}
+	heap.Push(q, &pqItem{node: s, cost: dist[s]})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.node
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		if u == d {
+			break
+		}
+		for _, e := range g.adj[u] {
+			if seen[e.to] {
+				continue
+			}
+			if ct.MinBandwidth > 0 && e.bandwidth < ct.MinBandwidth {
+				continue
+			}
+			nc := Cost{
+				Hops:       dist[u].Hops + e.hops,
+				Latency:    dist[u].Latency + e.latency,
+				Bottleneck: math.Min(dist[u].Bottleneck, e.bandwidth),
+			}
+			if nc.violates(ct) {
+				continue
+			}
+			if nc.less(dist[e.to], obj) {
+				dist[e.to] = nc
+				prev[e.to] = u
+				prevLink[e.to] = e.link
+				heap.Push(q, &pqItem{node: e.to, cost: nc})
+			}
+		}
+	}
+	if !seen[d] && prev[d] == -1 && s != d {
+		return nil, ErrNoPath
+	}
+	if dist[d].violates(ct) {
+		return nil, ErrNoPath
+	}
+	// Reconstruct.
+	var rev []int
+	var revLink []bool
+	for at := d; at != -1; at = prev[at] {
+		rev = append(rev, at)
+		if prev[at] != -1 {
+			revLink = append(revLink, prevLink[at])
+		}
+	}
+	p := &Path{Cost: dist[d]}
+	for i := len(rev) - 1; i >= 0; i-- {
+		p.Points = append(p.Points, g.refs[rev[i]])
+	}
+	for i := len(revLink) - 1; i >= 0; i-- {
+		p.LinkCrossings = append(p.LinkCrossings, revLink[i])
+	}
+	return p, nil
+}
+
+// MetricsFrom runs one single-source shortest-path computation (MinHops
+// objective) and returns the vFabric metrics from src to every reachable
+// port ref. It is the bulk variant of PairMetrics used when abstracting
+// regions with many border ports (one SSSP per exposed port instead of one
+// Dijkstra per pair).
+func (g *Graph) MetricsFrom(src dataplane.PortRef) map[dataplane.PortRef]dataplane.PathMetrics {
+	s, ok := g.nodes[src]
+	if !ok {
+		return nil
+	}
+	n := len(g.refs)
+	dist := make([]Cost, n)
+	seen := make([]bool, n)
+	reached := make([]bool, n)
+	for i := range dist {
+		dist[i] = Cost{Hops: math.MaxInt32, Latency: time.Duration(math.MaxInt64 / 4)}
+	}
+	dist[s] = Cost{Bottleneck: math.Inf(1)}
+	reached[s] = true
+	q := &pq{obj: MinHops}
+	heap.Push(q, &pqItem{node: s, cost: dist[s]})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(*pqItem)
+		u := it.node
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, e := range g.adj[u] {
+			if seen[e.to] {
+				continue
+			}
+			nc := Cost{
+				Hops:       dist[u].Hops + e.hops,
+				Latency:    dist[u].Latency + e.latency,
+				Bottleneck: math.Min(dist[u].Bottleneck, e.bandwidth),
+			}
+			if nc.less(dist[e.to], MinHops) {
+				dist[e.to] = nc
+				reached[e.to] = true
+				heap.Push(q, &pqItem{node: e.to, cost: nc})
+			}
+		}
+	}
+	out := make(map[dataplane.PortRef]dataplane.PathMetrics, n)
+	for i := 0; i < n; i++ {
+		if !reached[i] {
+			continue
+		}
+		out[g.refs[i]] = dataplane.PathMetrics{
+			Latency:   dist[i].Latency,
+			Hops:      dist[i].Hops,
+			Bandwidth: dist[i].Bottleneck,
+			Reachable: true,
+		}
+	}
+	return out
+}
+
+// PairMetrics computes the vFabric annotation for a border-port pair: the
+// MinHops shortest path's cost, with the bottleneck bandwidth of that path
+// (§3.2). Returns an unreachable PathMetrics when no path exists.
+func (g *Graph) PairMetrics(a, b dataplane.PortRef) dataplane.PathMetrics {
+	p, err := g.ShortestPath(a, b, MinHops, Constraints{})
+	if err != nil {
+		return dataplane.PathMetrics{}
+	}
+	// Same-device pairs traverse only the switch backplane; +Inf propagates
+	// through gob and min() correctly, so it is kept as-is.
+	bw := p.Cost.Bottleneck
+	return dataplane.PathMetrics{
+		Latency:   p.Cost.Latency,
+		Hops:      p.Cost.Hops,
+		Bandwidth: bw,
+		Reachable: true,
+	}
+}

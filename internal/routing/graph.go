@@ -1,0 +1,128 @@
+// Package routing implements the SoftMoW routing core service (§4.2):
+// constrained shortest paths over a controller's topology view, where the
+// topology may mix physical switches (free internal traversal) and gigantic
+// switches (traversal priced by the child-exposed virtual fabric, §3.2).
+//
+// The graph is port-expanded: nodes are (device, port) pairs. A link
+// contributes one hop plus its latency; traversing a device from one port
+// to another contributes that device's internal metrics — zero for physical
+// switches, the vFabric entry for G-switches. This makes a parent's
+// shortest-path computation consistent with the physical topology
+// underneath (local vs global optimality, §4.2).
+package routing
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/nib"
+)
+
+// Graph is a port-expanded routing graph built from a NIB.
+type Graph struct {
+	nodes map[dataplane.PortRef]int
+	refs  []dataplane.PortRef
+	adj   [][]edge
+}
+
+type edge struct {
+	to      int
+	hops    int
+	latency time.Duration
+	// bandwidth is the available bandwidth bound (Mbps); math.Inf(1) for
+	// unconstrained internal traversal.
+	bandwidth float64
+	// link marks link edges (vs intra-device edges); used to reconstruct
+	// installable paths.
+	link bool
+}
+
+// BuildGraph constructs a routing graph from a controller's NIB view.
+func BuildGraph(n *nib.NIB) *Graph {
+	g := &Graph{nodes: make(map[dataplane.PortRef]int)}
+
+	id := func(ref dataplane.PortRef) int {
+		if i, ok := g.nodes[ref]; ok {
+			return i
+		}
+		i := len(g.refs)
+		g.nodes[ref] = i
+		g.refs = append(g.refs, ref)
+		g.adj = append(g.adj, nil)
+		return i
+	}
+
+	// Intra-device edges.
+	for _, d := range n.Devices(dataplane.KindUnknown) {
+		switch d.Kind {
+		case dataplane.KindSwitch:
+			// Physical switch: free traversal between all port pairs.
+			ports := d.Ports
+			for i := 0; i < len(ports); i++ {
+				for j := 0; j < len(ports); j++ {
+					if i == j {
+						continue
+					}
+					a := id(dataplane.PortRef{Dev: d.ID, Port: ports[i].ID})
+					b := id(dataplane.PortRef{Dev: d.ID, Port: ports[j].ID})
+					g.adj[a] = append(g.adj[a], edge{to: b, bandwidth: math.Inf(1)})
+				}
+			}
+		case dataplane.KindGSwitch:
+			// G-switch: traversal priced by the virtual fabric.
+			if d.Fabric == nil {
+				continue
+			}
+			for _, pp := range d.Fabric.Pairs() {
+				m, _ := d.Fabric.Get(pp.A, pp.B)
+				if !m.Reachable {
+					continue
+				}
+				a := id(dataplane.PortRef{Dev: d.ID, Port: pp.A})
+				b := id(dataplane.PortRef{Dev: d.ID, Port: pp.B})
+				e := edge{hops: m.Hops, latency: m.Latency, bandwidth: m.Bandwidth}
+				g.adj[a] = append(g.adj[a], edge{to: b, hops: e.hops, latency: e.latency, bandwidth: e.bandwidth})
+				g.adj[b] = append(g.adj[b], edge{to: a, hops: e.hops, latency: e.latency, bandwidth: e.bandwidth})
+			}
+		}
+	}
+
+	// Link edges.
+	for _, l := range n.Links() {
+		if !l.Up {
+			continue
+		}
+		a := id(l.A)
+		b := id(l.B)
+		g.adj[a] = append(g.adj[a], edge{to: b, hops: 1, latency: l.Latency, bandwidth: l.Bandwidth, link: true})
+		g.adj[b] = append(g.adj[b], edge{to: a, hops: 1, latency: l.Latency, bandwidth: l.Bandwidth, link: true})
+	}
+
+	// Deterministic adjacency order.
+	for i := range g.adj {
+		sort.Slice(g.adj[i], func(x, y int) bool { return g.less(g.adj[i][x], g.adj[i][y]) })
+	}
+	return g
+}
+
+func (g *Graph) less(a, b edge) bool {
+	ra, rb := g.refs[a.to], g.refs[b.to]
+	if ra.Dev != rb.Dev {
+		return ra.Dev < rb.Dev
+	}
+	if ra.Port != rb.Port {
+		return ra.Port < rb.Port
+	}
+	return !a.link && b.link
+}
+
+// NumNodes reports the node count.
+func (g *Graph) NumNodes() int { return len(g.refs) }
+
+// HasNode reports whether a port ref is present.
+func (g *Graph) HasNode(ref dataplane.PortRef) bool {
+	_, ok := g.nodes[ref]
+	return ok
+}

@@ -1,0 +1,240 @@
+package southbound
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/dataplane"
+)
+
+// LinkMetaFiller lets control payloads (link-discovery frames) learn the
+// properties of the physical link they cross, as the paper's leaf
+// controllers record in the frame's meta data field (§4.1.2).
+type LinkMetaFiller interface {
+	FillLinkMeta(latency time.Duration, bandwidthMbps float64)
+}
+
+// SwitchAgent is the device-side protocol endpoint for a physical switch.
+// It serves any number of controller connections with per-connection roles:
+// master and equal controllers may modify state, slaves only observe, and
+// data-plane events are duplicated to every attached controller (the
+// behaviour §6 relies on for hot-standby failover and §5.3.2 for the
+// equal-role region handover).
+type SwitchAgent struct {
+	Net *dataplane.Network
+	Sw  *dataplane.Switch
+
+	mu    sync.Mutex
+	conns map[Conn]*agentPeer
+}
+
+type agentPeer struct {
+	name string
+	role Role
+	conn Conn
+}
+
+// NewSwitchAgent wires an agent to a switch and installs itself as the
+// switch's controller hook.
+func NewSwitchAgent(net *dataplane.Network, sw *dataplane.Switch) *SwitchAgent {
+	a := &SwitchAgent{Net: net, Sw: sw, conns: make(map[Conn]*agentPeer)}
+	sw.SetHook(a)
+	return a
+}
+
+// PacketIn implements dataplane.ControllerHook: punted packets are
+// duplicated to every attached controller.
+func (a *SwitchAgent) PacketIn(sw dataplane.DeviceID, inPort dataplane.PortID, p *dataplane.Packet) {
+	a.broadcast(Msg{
+		Type:     TypePacketIn,
+		Datapath: sw,
+		Body:     PacketIn{InPort: inPort, Packet: p},
+	})
+}
+
+// PortStatus implements dataplane.ControllerHook.
+func (a *SwitchAgent) PortStatus(sw dataplane.DeviceID, port dataplane.PortID, up bool) {
+	a.broadcast(Msg{
+		Type:     TypePortStatus,
+		Datapath: sw,
+		Body:     PortStatus{Port: port, Up: up},
+	})
+}
+
+// ControlIn forwards an encapsulated control payload (e.g. a link-discovery
+// frame arriving on a port) to all controllers.
+func (a *SwitchAgent) ControlIn(inPort dataplane.PortID, control interface{}) {
+	a.broadcast(Msg{
+		Type:     TypePacketIn,
+		Datapath: a.Sw.ID,
+		Body:     PacketIn{InPort: inPort, Control: control},
+	})
+}
+
+func (a *SwitchAgent) broadcast(m Msg) {
+	a.mu.Lock()
+	peers := make([]*agentPeer, 0, len(a.conns))
+	for _, p := range a.conns {
+		peers = append(peers, p)
+	}
+	a.mu.Unlock()
+	for _, p := range peers {
+		_ = p.conn.Send(m) // closed peers are pruned by Serve's exit
+	}
+}
+
+// Roles returns a snapshot of attached controller names and roles.
+func (a *SwitchAgent) Roles() map[string]Role {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]Role, len(a.conns))
+	for _, p := range a.conns {
+		out[p.name] = p.role
+	}
+	return out
+}
+
+// Serve accepts the Hello handshake on c and then processes controller
+// requests until the connection closes. It is typically run in its own
+// goroutine per controller connection. The initial role is master.
+func (a *SwitchAgent) Serve(c Conn) error {
+	peerName, err := Accept(c, string(a.Sw.ID))
+	if err != nil {
+		return err
+	}
+	peer := &agentPeer{name: peerName, role: RoleMaster, conn: c}
+	a.mu.Lock()
+	a.conns[c] = peer
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.conns, c)
+		a.mu.Unlock()
+	}()
+
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return nil // connection closed
+		}
+		a.handle(peer, m)
+	}
+}
+
+func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
+	switch m.Type {
+	case TypeEchoRequest:
+		body, _ := m.Body.(Echo)
+		_ = peer.conn.Send(Msg{Type: TypeEchoReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: body})
+
+	case TypeFeatureRequest:
+		_ = peer.conn.Send(Msg{Type: TypeFeatureReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: a.features()})
+
+	case TypeFlowMod:
+		if peer.role == RoleSlave || peer.role == RoleNone {
+			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				Body: Error{Code: ErrCodePermission, Message: "slave may not modify flows"}})
+			return
+		}
+		fm, ok := m.Body.(FlowMod)
+		if !ok {
+			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				Body: Error{Code: ErrCodeBadRequest, Message: "malformed flow-mod"}})
+			return
+		}
+		switch fm.Command {
+		case FlowAdd:
+			if err := a.Net.InstallRule(a.Sw.ID, fm.Rule); err != nil {
+				_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+					Body: Error{Code: ErrCodeBadRequest, Message: err.Error()}})
+			}
+		case FlowDeleteOwner:
+			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Owner == fm.Owner })
+		case FlowDeleteVersion:
+			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Version == fm.Version })
+		case FlowDeleteOwnerBefore:
+			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
+				return r.Owner == fm.Owner && r.Version < fm.Version
+			})
+		}
+
+	case TypePacketOut:
+		po, ok := m.Body.(PacketOut)
+		if !ok {
+			return
+		}
+		a.packetOut(peer, m.Xid, po)
+
+	case TypeRoleRequest:
+		rr, ok := m.Body.(RoleRequest)
+		if !ok {
+			return
+		}
+		peer.role = rr.Role
+		_ = peer.conn.Send(Msg{Type: TypeRoleReply, Xid: m.Xid, Datapath: a.Sw.ID,
+			Body: RoleReply{Controller: peer.name, Role: rr.Role}})
+
+	case TypeBarrierRequest:
+		_ = peer.conn.Send(Msg{Type: TypeBarrierReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: Barrier{}})
+	}
+}
+
+func (a *SwitchAgent) features() FeatureReply {
+	return BuildFeatures(a.Sw)
+}
+
+// BuildFeatures constructs the FeatureReply for a physical switch. It is
+// shared by the protocol agent and the in-process device adapter.
+func BuildFeatures(sw *dataplane.Switch) FeatureReply {
+	fr := FeatureReply{Device: sw.ID, Kind: dataplane.KindSwitch}
+	for _, p := range sw.Ports() {
+		up := p.Link == nil || p.Link.Up()
+		fr.Ports = append(fr.Ports, PortInfo{
+			ID: p.ID, Up: up, External: p.External,
+			ExternalDomain: p.ExternalDomain, Radio: p.Radio,
+		})
+	}
+	return fr
+}
+
+// packetOut emits a payload from a switch port. Control payloads crossing a
+// physical link are delivered to the far switch's agent as a PacketIn —
+// this is the data-plane leg of the recursive link discovery protocol
+// (§4.1.2). Data packets are injected into the traversal engine on the far
+// side.
+func (a *SwitchAgent) packetOut(peer *agentPeer, xid uint32, po PacketOut) {
+	if peer.role == RoleSlave || peer.role == RoleNone {
+		return
+	}
+	port := a.Sw.PortByID(po.OutPort)
+	if port == nil {
+		_ = peer.conn.Send(Msg{Type: TypeError, Xid: xid, Datapath: a.Sw.ID,
+			Body: Error{Code: ErrCodeUnknownPort, Message: "packet-out on unknown port"}})
+		return
+	}
+	if port.External || port.Link == nil || !port.Link.Up() {
+		return // discovery frames die on external or down ports
+	}
+	far, ok := port.Link.Other(a.Sw.ID)
+	if !ok {
+		return
+	}
+	farSw := a.Net.Switch(far.Dev)
+	if farSw == nil {
+		return
+	}
+	if po.Control != nil {
+		if f, ok := po.Control.(LinkMetaFiller); ok {
+			f.FillLinkMeta(port.Link.Latency, port.Link.Available())
+		}
+		if h := farSw.Hook(); h != nil {
+			if agent, ok := h.(*SwitchAgent); ok {
+				agent.ControlIn(far.Port, po.Control)
+			}
+		}
+		return
+	}
+	if po.Packet != nil {
+		_, _ = a.Net.Inject(far.Dev, far.Port, po.Packet)
+	}
+}

@@ -1,0 +1,212 @@
+package southbound
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/dataplane"
+)
+
+// Conn is a bidirectional message channel between a controller and a
+// device (or between two controllers, for the RecA agent's parent link).
+type Conn interface {
+	// Send enqueues a message; it fails after Close.
+	Send(Msg) error
+	// Recv blocks until a message arrives or the connection closes, in
+	// which case it returns io.EOF.
+	Recv() (Msg, error)
+	// Close tears down both directions. Idempotent.
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed connection.
+var ErrClosed = errors.New("southbound: connection closed")
+
+// chanConn is one end of an in-process connection.
+type chanConn struct {
+	out chan<- Msg
+	in  <-chan Msg
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{} // shared between both ends
+}
+
+// Pipe returns two connected in-process Conn endpoints with the given
+// buffer depth per direction. Closing either end closes both.
+func Pipe(buffer int) (Conn, Conn) {
+	ab := make(chan Msg, buffer)
+	ba := make(chan Msg, buffer)
+	done := make(chan struct{})
+	a := &chanConn{out: ab, in: ba, done: done}
+	b := &chanConn{out: ba, in: ab, done: done}
+	return a, b
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(m Msg) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.mu.Unlock()
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.done:
+		return ErrClosed
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (Msg, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.done:
+		// Drain any message racing with close.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return Msg{}, io.EOF
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed {
+		c.closed = true
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	return nil
+}
+
+// gobConn frames messages with encoding/gob over a net.Conn for
+// distributed deployments. Encoders and decoders are guarded so a gobConn
+// may be shared by a sender and a receiver goroutine.
+type gobConn struct {
+	nc   net.Conn
+	encM sync.Mutex
+	enc  *gob.Encoder
+	decM sync.Mutex
+	dec  *gob.Decoder
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewGobConn wraps a net.Conn in the gob codec.
+func NewGobConn(nc net.Conn) Conn {
+	return &gobConn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}
+}
+
+// Send implements Conn.
+func (g *gobConn) Send(m Msg) error {
+	g.encM.Lock()
+	defer g.encM.Unlock()
+	if err := g.enc.Encode(&m); err != nil {
+		return fmt.Errorf("southbound: encode: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Conn.
+func (g *gobConn) Recv() (Msg, error) {
+	g.decM.Lock()
+	defer g.decM.Unlock()
+	var m Msg
+	if err := g.dec.Decode(&m); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+			return Msg{}, io.EOF
+		}
+		return Msg{}, fmt.Errorf("southbound: decode: %w", err)
+	}
+	return m, nil
+}
+
+// Close implements Conn.
+func (g *gobConn) Close() error {
+	g.closeOnce.Do(func() { g.closeErr = g.nc.Close() })
+	return g.closeErr
+}
+
+// RegisterGobTypes registers every Body payload type plus control payloads
+// supplied by higher layers with encoding/gob. Callers sending custom
+// Control payloads over gob connections must register them too.
+func RegisterGobTypes(extra ...interface{}) {
+	gob.Register(Hello{})
+	gob.Register(Echo{})
+	gob.Register(FeatureRequest{})
+	gob.Register(FeatureReply{})
+	gob.Register(PacketIn{})
+	gob.Register(PacketOut{})
+	gob.Register(FlowMod{})
+	gob.Register(PortStatus{})
+	gob.Register(RoleRequest{})
+	gob.Register(RoleReply{})
+	gob.Register(Barrier{})
+	gob.Register(Error{})
+	gob.Register(&dataplane.Packet{})
+	for _, e := range extra {
+		gob.Register(e)
+	}
+}
+
+// Handshake performs the Hello exchange from the initiating side and
+// verifies version compatibility.
+func Handshake(c Conn, sender string) error {
+	if err := c.Send(Msg{Type: TypeHello, Body: Hello{Sender: sender, Version: ProtocolVersion}}); err != nil {
+		return err
+	}
+	m, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Type != TypeHello {
+		return fmt.Errorf("southbound: expected hello, got %v", m.Type)
+	}
+	h, ok := m.Body.(Hello)
+	if !ok {
+		return fmt.Errorf("southbound: malformed hello body %T", m.Body)
+	}
+	if h.Version != ProtocolVersion {
+		return fmt.Errorf("southbound: version mismatch: local %d, peer %d", ProtocolVersion, h.Version)
+	}
+	return nil
+}
+
+// Accept answers a Hello from the passive side.
+func Accept(c Conn, sender string) (peer string, err error) {
+	m, err := c.Recv()
+	if err != nil {
+		return "", err
+	}
+	if m.Type != TypeHello {
+		return "", fmt.Errorf("southbound: expected hello, got %v", m.Type)
+	}
+	h, ok := m.Body.(Hello)
+	if !ok {
+		return "", fmt.Errorf("southbound: malformed hello body %T", m.Body)
+	}
+	if h.Version != ProtocolVersion {
+		_ = c.Send(Msg{Type: TypeError, Body: Error{Code: ErrCodeVersionMismatch, Message: "version mismatch"}})
+		return "", fmt.Errorf("southbound: version mismatch: local %d, peer %d", ProtocolVersion, h.Version)
+	}
+	if err := c.Send(Msg{Type: TypeHello, Body: Hello{Sender: sender, Version: ProtocolVersion}}); err != nil {
+		return "", err
+	}
+	return h.Sender, nil
+}

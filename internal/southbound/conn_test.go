@@ -1,0 +1,262 @@
+package southbound
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(Msg{Type: TypeEchoRequest, Xid: 7, Body: Echo{Payload: "hi"}}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != TypeEchoRequest || m.Xid != 7 || m.Body.(Echo).Payload != "hi" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-done:
+		if err != io.EOF {
+			t.Fatalf("err = %v, want EOF", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestPipeSendAfterClose(t *testing.T) {
+	a, b := Pipe(1)
+	b.Close()
+	if err := a.Send(Msg{Type: TypeHello}); err == nil {
+		// buffered message may be accepted before close observed; second
+		// send must fail
+		if err2 := a.Send(Msg{Type: TypeHello}); err2 == nil {
+			t.Fatal("send after close should eventually fail")
+		}
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("close must be idempotent across both ends")
+	}
+}
+
+func TestPipeDrainAfterClose(t *testing.T) {
+	a, b := Pipe(4)
+	a.Send(Msg{Type: TypeEchoRequest})
+	a.Close()
+	// message sent before close should still be receivable
+	if m, err := b.Recv(); err != nil || m.Type != TypeEchoRequest {
+		t.Fatalf("drain failed: %v %v", m, err)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	a, b := Pipe(2)
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var peer string
+	var acceptErr error
+	go func() {
+		defer wg.Done()
+		peer, acceptErr = Accept(b, "switch-1")
+	}()
+	if err := Handshake(a, "ctrl-1"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if acceptErr != nil {
+		t.Fatal(acceptErr)
+	}
+	if peer != "ctrl-1" {
+		t.Fatalf("peer = %q", peer)
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	a, b := Pipe(2)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		a.Send(Msg{Type: TypeHello, Body: Hello{Sender: "old", Version: 99}})
+	}()
+	if _, err := Accept(b, "sw"); err == nil {
+		t.Fatal("version mismatch should fail")
+	}
+}
+
+func TestHandshakeWrongFirstMessage(t *testing.T) {
+	a, b := Pipe(2)
+	defer a.Close()
+	defer b.Close()
+	go a.Send(Msg{Type: TypeEchoRequest})
+	if _, err := Accept(b, "sw"); err == nil {
+		t.Fatal("non-hello first message should fail")
+	}
+}
+
+func TestGobConnOverTCP(t *testing.T) {
+	RegisterGobTypes()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		msg Msg
+		err error
+	}
+	got := make(chan result, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		c := NewGobConn(nc)
+		defer c.Close()
+		m, err := c.Recv()
+		got <- result{msg: m, err: err}
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGobConn(nc)
+	defer c.Close()
+
+	fabric := dataplane.NewVFabric()
+	fabric.Set(1, 2, dataplane.PathMetrics{Hops: 3, Latency: 5 * time.Millisecond, Bandwidth: 800, Reachable: true})
+	sent := Msg{
+		Type:     TypeFeatureReply,
+		Xid:      42,
+		Datapath: "GS1",
+		Body: FeatureReply{
+			Device: "GS1",
+			Kind:   dataplane.KindGSwitch,
+			Ports:  []PortInfo{{ID: 1, Up: true}, {ID: 2, Up: true, External: true, ExternalDomain: "isp"}},
+		},
+	}
+	if err := c.Send(sent); err != nil {
+		t.Fatal(err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if r.msg.Type != TypeFeatureReply || r.msg.Datapath != "GS1" || r.msg.Xid != 42 {
+		t.Fatalf("envelope mangled: %+v", r.msg)
+	}
+	body, ok := r.msg.Body.(FeatureReply)
+	if !ok {
+		t.Fatalf("body type %T", r.msg.Body)
+	}
+	if len(body.Ports) != 2 || !body.Ports[1].External {
+		t.Fatalf("ports mangled: %+v", body.Ports)
+	}
+}
+
+func TestGobConnEOFOnClose(t *testing.T) {
+	RegisterGobTypes()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	errc := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		c := NewGobConn(nc)
+		_, err = c.Recv()
+		errc <- err
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewGobConn(nc)
+	c.Close()
+	if err := <-errc; err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestPacketOverGob(t *testing.T) {
+	RegisterGobTypes()
+	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+	defer ln.Close()
+	got := make(chan Msg, 1)
+	go func() {
+		nc, _ := ln.Accept()
+		c := NewGobConn(nc)
+		m, _ := c.Recv()
+		got <- m
+	}()
+	nc, _ := net.Dial("tcp", ln.Addr().String())
+	c := NewGobConn(nc)
+	defer c.Close()
+	pkt := &dataplane.Packet{UE: "ue9", DstPrefix: "p1", QoS: 5}
+	pkt.PushLabel(77)
+	if err := c.Send(Msg{Type: TypePacketIn, Body: PacketIn{InPort: 3, Packet: pkt}}); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	pi := m.Body.(PacketIn)
+	if pi.Packet.UE != "ue9" {
+		t.Fatalf("packet mangled: %+v", pi.Packet)
+	}
+	if l, ok := pi.Packet.TopLabel(); !ok || l != 77 {
+		t.Fatalf("label lost over the wire: %v %v", l, ok)
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	types := []MsgType{TypeHello, TypeEchoRequest, TypeEchoReply, TypeFeatureRequest,
+		TypeFeatureReply, TypePacketIn, TypePacketOut, TypeFlowMod, TypePortStatus,
+		TypeRoleRequest, TypeRoleReply, TypeBarrierRequest, TypeBarrierReply, TypeError}
+	seen := map[string]bool{}
+	for _, ty := range types {
+		s := ty.String()
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+	if MsgType(99).String() != "msgtype(99)" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if RoleMaster.String() != "master" || RoleEqual.String() != "equal" ||
+		RoleSlave.String() != "slave" || RoleNone.String() != "none" {
+		t.Fatal("role strings")
+	}
+}

@@ -1,0 +1,229 @@
+// Package southbound defines the OpenFlow-like control protocol spoken
+// between SoftMoW controllers and data-plane devices — physical switches at
+// the leaf level, and gigantic (logical) devices exposed by child
+// controllers at higher levels (§3.3: "NOS communicates with switches
+// (logical or physical) using a southbound API, e.g. OpenFlow API extended
+// to support our virtual fabric feature").
+//
+// Two transports are provided: an in-process channel pair for simulations,
+// and a gob-encoded length-delimited TCP codec for distributed deployments.
+// Both satisfy the Conn interface.
+package southbound
+
+import (
+	"fmt"
+
+	"repro/internal/dataplane"
+)
+
+// MsgType enumerates protocol message types.
+type MsgType int
+
+const (
+	// TypeHello opens a channel.
+	TypeHello MsgType = iota
+	// TypeEchoRequest / TypeEchoReply implement liveness probing.
+	TypeEchoRequest
+	TypeEchoReply
+	// TypeFeatureRequest asks a device to describe itself; G-switches
+	// answer with their virtual fabric (the SoftMoW OpenFlow extension).
+	TypeFeatureRequest
+	TypeFeatureReply
+	// TypePacketIn punts a packet (or an encapsulated control payload such
+	// as a link-discovery message) from device to controller.
+	TypePacketIn
+	// TypePacketOut sends a payload out of a device port.
+	TypePacketOut
+	// TypeFlowMod installs or removes flow rules.
+	TypeFlowMod
+	// TypePortStatus notifies link up/down.
+	TypePortStatus
+	// TypeRoleRequest / TypeRoleReply manage controller roles during
+	// region reconfiguration (§5.3.2, OFPCR_ROLE_EQUAL et al.).
+	TypeRoleRequest
+	TypeRoleReply
+	// TypeBarrierRequest / TypeBarrierReply fence rule installation.
+	TypeBarrierRequest
+	TypeBarrierReply
+	// TypeError reports a device-side failure for a prior request.
+	TypeError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		TypeHello: "hello", TypeEchoRequest: "echo-req", TypeEchoReply: "echo-rep",
+		TypeFeatureRequest: "feature-req", TypeFeatureReply: "feature-rep",
+		TypePacketIn: "packet-in", TypePacketOut: "packet-out",
+		TypeFlowMod: "flow-mod", TypePortStatus: "port-status",
+		TypeRoleRequest: "role-req", TypeRoleReply: "role-rep",
+		TypeBarrierRequest: "barrier-req", TypeBarrierReply: "barrier-rep",
+		TypeError: "error",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("msgtype(%d)", int(t))
+}
+
+// Msg is the protocol envelope. Body holds one of the typed payload structs
+// below according to Type.
+type Msg struct {
+	Type MsgType
+	// Xid correlates requests and replies.
+	Xid uint32
+	// Datapath identifies the device the message concerns.
+	Datapath dataplane.DeviceID
+	Body     interface{}
+}
+
+// Role is a controller's role toward a device (§5.3.2).
+type Role int
+
+const (
+	// RoleMaster is the default single-controller role.
+	RoleMaster Role = iota
+	// RoleEqual grants a second controller full event visibility during a
+	// region handover (OFPCR_ROLE_EQUAL).
+	RoleEqual
+	// RoleSlave receives events but may not install rules.
+	RoleSlave
+	// RoleNone detaches the controller.
+	RoleNone
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMaster:
+		return "master"
+	case RoleEqual:
+		return "equal"
+	case RoleSlave:
+		return "slave"
+	case RoleNone:
+		return "none"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Hello is the Body of TypeHello.
+type Hello struct {
+	// Sender names the connecting entity (controller or device ID).
+	Sender string
+	// Version is the protocol version; mismatches are rejected.
+	Version int
+}
+
+// ProtocolVersion is the current protocol version.
+const ProtocolVersion = 1
+
+// Echo is the Body of TypeEchoRequest/TypeEchoReply.
+type Echo struct {
+	Payload string
+}
+
+// FeatureRequest is the Body of TypeFeatureRequest.
+type FeatureRequest struct{}
+
+// PortInfo describes one device port in a FeatureReply.
+type PortInfo struct {
+	ID             dataplane.PortID
+	Up             bool
+	External       bool
+	ExternalDomain string
+	// Radio names the BS group served through this port, if any.
+	Radio dataplane.DeviceID
+}
+
+// FeatureReply is the Body of TypeFeatureReply. For gigantic switches,
+// Fabric carries the virtual-fabric annotations and GBSes/GMiddleboxes the
+// attached logical radio and middlebox devices (§3.1–3.2).
+type FeatureReply struct {
+	Device dataplane.DeviceID
+	Kind   dataplane.DeviceKind
+	Ports  []PortInfo
+	// Fabric is nil for physical switches.
+	Fabric *dataplane.VFabric
+	// GBSes lists attached gigantic base stations (G-switch replies only).
+	GBSes []dataplane.GBSInfo
+	// GMiddleboxes lists attached gigantic middleboxes.
+	GMiddleboxes []dataplane.GMiddleboxInfo
+}
+
+// PacketIn is the Body of TypePacketIn.
+type PacketIn struct {
+	InPort dataplane.PortID
+	// Packet is set for punted data-plane packets.
+	Packet *dataplane.Packet
+	// Control is set for encapsulated control payloads (discovery
+	// messages, interdomain route advertisements, bearer requests...).
+	Control interface{}
+}
+
+// PacketOut is the Body of TypePacketOut.
+type PacketOut struct {
+	OutPort dataplane.PortID
+	Packet  *dataplane.Packet
+	Control interface{}
+}
+
+// FlowModCommand selects install vs delete.
+type FlowModCommand int
+
+const (
+	// FlowAdd installs a rule.
+	FlowAdd FlowModCommand = iota
+	// FlowDeleteOwner removes rules by owner.
+	FlowDeleteOwner
+	// FlowDeleteVersion removes rules by version.
+	FlowDeleteVersion
+	// FlowDeleteOwnerBefore removes an owner's rules with a version older
+	// than the given one (consistent path updates, §6).
+	FlowDeleteOwnerBefore
+)
+
+// FlowMod is the Body of TypeFlowMod.
+type FlowMod struct {
+	Command FlowModCommand
+	Rule    dataplane.Rule
+	// Owner / Version select rules for the delete commands.
+	Owner   string
+	Version int
+}
+
+// PortStatus is the Body of TypePortStatus.
+type PortStatus struct {
+	Port dataplane.PortID
+	Up   bool
+}
+
+// RoleRequest is the Body of TypeRoleRequest.
+type RoleRequest struct {
+	Controller string
+	Role       Role
+}
+
+// RoleReply is the Body of TypeRoleReply.
+type RoleReply struct {
+	Controller string
+	Role       Role
+}
+
+// Barrier is the Body of barrier messages.
+type Barrier struct{}
+
+// Error is the Body of TypeError.
+type Error struct {
+	Code    int
+	Message string
+}
+
+// Error codes.
+const (
+	ErrCodeBadRequest = iota + 1
+	ErrCodeVersionMismatch
+	ErrCodePermission
+	ErrCodeUnknownPort
+)
