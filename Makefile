@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race chaos check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# A longer randomized fault-injection run than the bounded tier-1 test;
+# prints its seed so any violation can be replayed exactly.
+chaos:
+	$(GO) run ./cmd/chaos -events 1000
+
+check: vet race

@@ -1,0 +1,103 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/discovery"
+	"repro/internal/southbound"
+)
+
+// FaultPlan is a single-shot install-fault injector shared by every
+// FaultyDevice in a harness: Arm schedules one failure after skipping a
+// configurable number of installs, so the fault lands at a randomized
+// position inside a multi-rule path setup (first hop, mid-path, or during a
+// classification fan-out).
+type FaultPlan struct {
+	mu       sync.Mutex
+	armed    bool
+	skip     int
+	injected bool
+}
+
+// Arm schedules the next install fault: the plan lets `skip` InstallRule
+// calls through, fails the one after, then disarms itself.
+func (p *FaultPlan) Arm(skip int) {
+	p.mu.Lock()
+	p.armed = true
+	p.skip = skip
+	p.injected = false
+	p.mu.Unlock()
+}
+
+// Disarm clears the plan and reports whether the armed fault actually fired
+// (a short path may need fewer installs than the skip count).
+func (p *FaultPlan) Disarm() bool {
+	p.mu.Lock()
+	fired := p.injected
+	p.armed = false
+	p.mu.Unlock()
+	return fired
+}
+
+// fail decides whether this install call is the one to break.
+func (p *FaultPlan) fail(dev dataplane.DeviceID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.armed || p.injected {
+		return nil
+	}
+	if p.skip > 0 {
+		p.skip--
+		return nil
+	}
+	p.injected = true
+	return fmt.Errorf("chaos: injected install fault on %s", dev)
+}
+
+// FaultyDevice wraps a controller's device handle and fails InstallRule
+// according to the shared FaultPlan. Everything else forwards to the inner
+// device, so discovery, rule removal, and feature reads are unaffected.
+//
+// The wrapper intentionally does not receive controller events itself: the
+// inner SwitchDevice stays registered as the switch hook (attach the inner
+// device first, then the wrapper, so the controller back-pointer is wired
+// on the inner adapter while rule installs route through the wrapper).
+type FaultyDevice struct {
+	Inner core.Device
+	Plan  *FaultPlan
+}
+
+// ID implements core.Device.
+func (d *FaultyDevice) ID() dataplane.DeviceID { return d.Inner.ID() }
+
+// Features implements core.Device.
+func (d *FaultyDevice) Features() southbound.FeatureReply { return d.Inner.Features() }
+
+// InstallRule implements core.Device, consulting the fault plan first.
+func (d *FaultyDevice) InstallRule(r dataplane.Rule) error {
+	if err := d.Plan.fail(d.Inner.ID()); err != nil {
+		return err
+	}
+	return d.Inner.InstallRule(r)
+}
+
+// RemoveRules implements core.Device.
+func (d *FaultyDevice) RemoveRules(owner string) error { return d.Inner.RemoveRules(owner) }
+
+// RemoveRulesBefore implements core.Device.
+func (d *FaultyDevice) RemoveRulesBefore(owner string, version int) error {
+	return d.Inner.RemoveRulesBefore(owner, version)
+}
+
+// RemoveRulesVersion implements core.Device.
+func (d *FaultyDevice) RemoveRulesVersion(owner string, version int) error {
+	return d.Inner.RemoveRulesVersion(owner, version)
+}
+
+// EmitDiscovery implements core.Device.
+func (d *FaultyDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error {
+	return d.Inner.EmitDiscovery(port, f)
+}

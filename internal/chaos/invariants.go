@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/nib"
+)
+
+// CheckInvariants verifies the harness's global safety properties against
+// the live hierarchy and data plane. Reachability (invariant 3) is
+// enforced separately by probeAndRedo, which needs the repair machinery.
+func (h *Harness) CheckInvariants() error {
+	if err := h.checkNoOrphanRules(); err != nil {
+		return err
+	}
+	if err := h.checkLinkConsistency(); err != nil {
+		return err
+	}
+	return h.checkMastership()
+}
+
+// checkNoOrphanRules asserts every rule installed on a physical switch is
+// owned by a path record some controller still considers active, at the
+// record's current version. A violation means a rollback, repair, or
+// teardown leaked state into the data plane.
+func (h *Harness) checkNoOrphanRules() error {
+	owners := make(map[string]core.PathOwnerInfo)
+	for _, c := range h.hier.All {
+		for owner, info := range c.PathOwners() {
+			owners[owner] = info
+		}
+	}
+	for _, sw := range h.net.Switches() {
+		for _, r := range sw.Table.Rules() {
+			info, ok := owners[r.Owner]
+			if !ok {
+				return fmt.Errorf("orphan rule on %s: owner %q unknown to every controller (%+v)", sw.ID, r.Owner, r)
+			}
+			if !info.Active {
+				return fmt.Errorf("orphan rule on %s: owner %q is deactivated (%+v)", sw.ID, r.Owner, r)
+			}
+			if r.Version != info.Version {
+				return fmt.Errorf("stale rule on %s: owner %q version %d, path record at %d (%+v)",
+					sw.ID, r.Owner, r.Version, info.Version, r)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLinkConsistency asserts the NIB view matches the physical link
+// state at both levels: every intra-region link is recorded (with the
+// right Up flag) in the owning leaf's NIB, every cross-region link in the
+// root's NIB between the exposed G-switch border ports, and no NIB record
+// contradicts the data plane.
+func (h *Harness) checkLinkConsistency() error {
+	for _, l := range h.net.Links() {
+		la, lb := h.hier.LeafOf(l.A.Dev), h.hier.LeafOf(l.B.Dev)
+		switch {
+		case la == nil || lb == nil:
+			return fmt.Errorf("link %s touches a switch no leaf owns", linkName(l))
+		case la == lb:
+			rec, ok := la.NIB.LinkByKey(nib.NewLinkKey(l.A, l.B))
+			if !ok {
+				return fmt.Errorf("leaf %s NIB lost link %s", la.ID, linkName(l))
+			}
+			if rec.Up != l.Up() {
+				return fmt.Errorf("leaf %s NIB link %s up=%t, physical up=%t",
+					la.ID, linkName(l), rec.Up, l.Up())
+			}
+		default:
+			gpa, oka := la.ExposedPortFor(l.A)
+			gpb, okb := lb.ExposedPortFor(l.B)
+			if !oka || !okb {
+				return fmt.Errorf("cross link %s not exposed as border ports (%t,%t)", linkName(l), oka, okb)
+			}
+			key := nib.NewLinkKey(
+				dataplane.PortRef{Dev: la.GSwitchID(), Port: gpa},
+				dataplane.PortRef{Dev: lb.GSwitchID(), Port: gpb})
+			rec, ok := h.hier.Root.NIB.LinkByKey(key)
+			if !ok {
+				return fmt.Errorf("root NIB lost cross link %s (g-ports %s:%d-%s:%d)",
+					linkName(l), la.GSwitchID(), gpa, lb.GSwitchID(), gpb)
+			}
+			if rec.Up != l.Up() {
+				return fmt.Errorf("root NIB cross link %s up=%t, physical up=%t",
+					linkName(l), rec.Up, l.Up())
+			}
+		}
+	}
+	// The reverse direction: every leaf NIB record must describe a real,
+	// state-matching physical link (leaf NIBs hold only intra-region links).
+	for _, leaf := range h.hier.Leaves {
+		for _, rec := range leaf.NIB.Links() {
+			l := h.net.LinkAt(rec.A)
+			if l == nil {
+				return fmt.Errorf("leaf %s NIB has phantom link %s:%d-%s:%d",
+					leaf.ID, rec.A.Dev, rec.A.Port, rec.B.Dev, rec.B.Port)
+			}
+			if l.Up() != rec.Up {
+				return fmt.Errorf("leaf %s NIB record %s:%d-%s:%d up=%t, physical up=%t",
+					leaf.ID, rec.A.Dev, rec.A.Port, rec.B.Dev, rec.B.Port, rec.Up, l.Up())
+			}
+		}
+	}
+	return nil
+}
+
+// checkMastership asserts every controller's HA pair has exactly one
+// master — no split-brain, no headless controller.
+func (h *Harness) checkMastership() error {
+	for _, id := range h.pairIDs {
+		if n := h.pairs[id].MasterCount(); n != 1 {
+			return fmt.Errorf("pair %s has %d masters", id, n)
+		}
+	}
+	return nil
+}

@@ -216,6 +216,12 @@ func (d *ConnDevice) RemoveRulesBefore(owner string, version int) error {
 		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerBefore, Owner: owner, Version: version}})
 }
 
+// RemoveRulesVersion implements Device.
+func (d *ConnDevice) RemoveRulesVersion(owner string, version int) error {
+	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerVersion, Owner: owner, Version: version}})
+}
+
 // sendModAndBarrier sends a modification with a tracked transaction ID,
 // fences it with a barrier, and reports any error the device raised for
 // the modification. The agent processes a connection's messages in order,

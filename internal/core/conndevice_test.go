@@ -137,12 +137,14 @@ func TestConnDevicePortStatusEvent(t *testing.T) {
 	h.net.SetLinkState(h.net.Links()[0], false)
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if h.ctrl.NIB.NumLinks() == 0 {
+		// The record survives, marked down, ready for restoration.
+		if h.ctrl.NIB.NumLinks() == 1 && h.ctrl.NIB.NumUpLinks() == 0 {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	t.Fatal("link failure event never pruned the NIB")
+	t.Fatalf("link failure event never marked the NIB link down (links=%d up=%d)",
+		h.ctrl.NIB.NumLinks(), h.ctrl.NIB.NumUpLinks())
 }
 
 // TestEqualRoleRegionHandover exercises the §5.3.2 control-transfer dance

@@ -277,17 +277,15 @@ func (c *Controller) HandlePacketIn(dev dataplane.DeviceID, inPort dataplane.Por
 }
 
 // HandlePortStatus reacts to link state changes: the NIB link record is
-// updated and affected paths recomputed lazily (§6).
+// updated and affected paths recomputed lazily (§6). The record is kept on
+// port-down with Up=false — routing.BuildGraph already excludes down links
+// — so a later port-up restores the link without a full re-discovery
+// round; a flapped link is never lost from the NIB.
 func (c *Controller) HandlePortStatus(dev dataplane.DeviceID, port dataplane.PortID, up bool) {
 	ref := dataplane.PortRef{Dev: dev, Port: port}
 	for _, l := range c.NIB.LinksOf(dev) {
 		if l.A == ref || l.B == ref {
-			if !up {
-				c.NIB.RemoveLink(l.Key())
-			} else {
-				l.Up = true
-				c.NIB.PutLink(l)
-			}
+			c.NIB.SetLinkUp(l.Key(), up)
 		}
 	}
 }

@@ -458,11 +458,24 @@ func TestLinkFailureUpdatesNIB(t *testing.T) {
 		t.Fatal("no S1-S2 link")
 	}
 	f.net.SetLinkState(intra, false)
-	if f.l1.NIB.NumLinks() != 0 {
-		t.Fatalf("L1 should drop the failed link, has %d", f.l1.NIB.NumLinks())
+	// The record is retained, marked down — a later port-up restores it
+	// without re-discovery.
+	if f.l1.NIB.NumLinks() != 1 {
+		t.Fatalf("L1 should retain the failed link record, has %d", f.l1.NIB.NumLinks())
+	}
+	if f.l1.NIB.NumUpLinks() != 0 {
+		t.Fatalf("failed link still marked up (%d up)", f.l1.NIB.NumUpLinks())
 	}
 	// routing now fails inside L1
 	if _, err := f.l1.Route(RouteRequest{From: f.radioA, Prefix: "pfxNear"}); err == nil {
 		t.Fatal("route over failed link should fail")
+	}
+	// …and comes back when the link does, with no discovery round.
+	f.net.SetLinkState(intra, true)
+	if f.l1.NIB.NumUpLinks() != 1 {
+		t.Fatalf("restored link not marked up (%d up)", f.l1.NIB.NumUpLinks())
+	}
+	if _, err := f.l1.Route(RouteRequest{From: f.radioA, Prefix: "pfxNear"}); err != nil {
+		t.Fatalf("route after restore: %v", err)
 	}
 }

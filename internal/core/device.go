@@ -31,6 +31,10 @@ type Device interface {
 	// RemoveRulesBefore removes an owner's rules older than version —
 	// the cleanup step of a consistent path update (§6).
 	RemoveRulesBefore(owner string, version int) error
+	// RemoveRulesVersion removes exactly an owner's rules of one version —
+	// the rollback of a partially installed translation, which must not
+	// touch older versions still carrying traffic mid-update (§6).
+	RemoveRulesVersion(owner string, version int) error
 	// EmitDiscovery sends a link-discovery frame out of a port (§4.1.2).
 	EmitDiscovery(port dataplane.PortID, f *discovery.Frame) error
 }
@@ -92,6 +96,14 @@ func (d *SwitchDevice) RemoveRules(owner string) error {
 func (d *SwitchDevice) RemoveRulesBefore(owner string, version int) error {
 	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool {
 		return r.Owner == owner && r.Version < version
+	})
+	return nil
+}
+
+// RemoveRulesVersion implements Device.
+func (d *SwitchDevice) RemoveRulesVersion(owner string, version int) error {
+	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool {
+		return r.Owner == owner && r.Version == version
 	})
 	return nil
 }
@@ -172,6 +184,11 @@ func (d *logicalDevice) RemoveRules(owner string) error {
 // RemoveRulesBefore implements Device: recursive version-scoped removal.
 func (d *logicalDevice) RemoveRulesBefore(owner string, version int) error {
 	return d.child.RemoveTranslatedBefore(owner, version)
+}
+
+// RemoveRulesVersion implements Device: recursive exact-version removal.
+func (d *logicalDevice) RemoveRulesVersion(owner string, version int) error {
+	return d.child.RemoveTranslatedVersion(owner, version)
 }
 
 // EmitDiscovery implements Device: the child maps the G-switch port to its

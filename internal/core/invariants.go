@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/dataplane"
+
+// Invariant probes: read-only views exported for the fault-injection
+// harness (internal/chaos) so it can check global properties — every
+// installed rule's owner maps to a live path, NIB links mirror device port
+// state — without reaching into controller internals.
+
+// PathOwnerInfo summarizes one path record for ownership accounting.
+type PathOwnerInfo struct {
+	ID      PathID
+	Version int
+	Active  bool
+}
+
+// PathOwners returns every path owner tag this controller has ever issued,
+// with the path's current version and activity. Rules found in the data
+// plane whose owner is missing from the union of all controllers' maps —
+// or which belong to an inactive path, or carry a version other than the
+// record's current one after a committed update — are orphans.
+func (c *Controller) PathOwners() map[string]PathOwnerInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]PathOwnerInfo, len(c.paths))
+	for id, rec := range c.paths {
+		out[rec.Owner] = PathOwnerInfo{ID: id, Version: rec.Version, Active: rec.Active}
+	}
+	return out
+}
+
+// ExposedPortFor maps an underlying (device, port) in this controller's
+// region to the G-switch port it is exposed through, if it is a border
+// port. The harness uses it to translate physical link endpoints into the
+// parent's logical coordinates.
+func (c *Controller) ExposedPortFor(ref dataplane.PortRef) (dataplane.PortID, bool) {
+	return c.exposedPortFor(ref)
+}

@@ -186,6 +186,16 @@ func indexRadioFromChildren(c *Controller) {
 	c.SetRadioIndex(nil, groupAttach)
 }
 
+// RefreshDerived re-derives a non-leaf controller's configuration and
+// radio index from its children's current exposures and recomputes its
+// abstraction. The management plane calls it after a reconfiguration
+// (§5.3.2) so the parent's G-BS attachment points track the moved groups.
+func RefreshDerived(c *Controller) {
+	c.SetConfig(DerivedConfig(c, nil))
+	indexRadioFromChildren(c)
+	c.ComputeAbstraction()
+}
+
 // Controller returns a controller by ID, or nil.
 func (h *Hierarchy) Controller(id string) *Controller {
 	for _, c := range h.All {

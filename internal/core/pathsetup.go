@@ -273,11 +273,17 @@ func (c *Controller) TranslateRule(r dataplane.Rule) error {
 		for _, src := range srcs {
 			p, err := g.ShortestPath(src, dst, routing.MinHops, routing.Constraints{})
 			if err != nil {
+				// Roll back earlier sources' rules so a mid-fan-out failure
+				// leaves nothing behind, mirroring SetupPathWithDemand. The
+				// removal is version-exact: older versions of the same owner
+				// may still carry traffic mid-update (§6).
+				_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
 				return fmt.Errorf("core: %s: no internal path %v->%v: %w", c.ID, src, dst, err)
 			}
 			ctx.match = r.Match
 			ctx.match.InPort = src.Port
 			if err := c.installPathRules(ctx, p, r.Owner, r.Version); err != nil {
+				_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
 				return err
 			}
 		}
@@ -310,7 +316,13 @@ func (c *Controller) TranslateRule(r dataplane.Rule) error {
 		ctx.kind = kindTransit
 		ctx.labelOut = r.Match.Label
 	}
-	return c.installPathRules(ctx, p, r.Owner, r.Version)
+	if err := c.installPathRules(ctx, p, r.Owner, r.Version); err != nil {
+		// installPathRules may have installed a prefix of the path's rules
+		// before failing; remove exactly this version's residue.
+		_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
+		return err
+	}
+	return nil
 }
 
 // RemoveTranslated removes, recursively, all rules installed under an
@@ -327,6 +339,16 @@ func (c *Controller) RemoveTranslated(owner string) error {
 func (c *Controller) RemoveTranslatedBefore(owner string, version int) error {
 	for _, d := range c.Devices() {
 		_ = d.RemoveRulesBefore(owner, version)
+	}
+	return nil
+}
+
+// RemoveTranslatedVersion removes, recursively, exactly an owner's rules of
+// one version — rollback of a partial translation that must leave older
+// live versions untouched.
+func (c *Controller) RemoveTranslatedVersion(owner string, version int) error {
+	for _, d := range c.Devices() {
+		_ = d.RemoveRulesVersion(owner, version)
 	}
 	return nil
 }

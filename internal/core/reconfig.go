@@ -44,6 +44,16 @@ func (h *Hierarchy) TransferBorderGroup(groupID dataplane.DeviceID, src, dst *Co
 		return fmt.Errorf("core: access switch %s not under %s", accessSW, src.ID)
 	}
 
+	// Flush-on-handover: clear the moved switch's flow table (releasing its
+	// bandwidth reservations) before the target assumes mastership. Rules
+	// the source installed there through its translation bookkeeping — e.g.
+	// for ancestor-owned paths transiting the cut — would otherwise become
+	// unremovable: the source no longer owns the switch and the target
+	// never installed them, so later teardowns would leak orphaned rules.
+	// Affected paths punt at the clean table and are re-established by the
+	// §6 repair machinery.
+	h.Net.RemoveRulesIf(accessSW, func(*dataplane.Rule) bool { return true })
+
 	// Transfer existing UE states and path information in advance
 	// (§5.3.2: "the source controller transfers existing UE states and
 	// path information to the target controller").

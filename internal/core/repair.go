@@ -40,14 +40,17 @@ func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []Path
 		alt, err := g.ShortestPath(src, dst, routing.MinHops, routing.Constraints{})
 		if err != nil {
 			c.mu.Lock()
-			if rec, ok := c.paths[j.id]; ok {
+			rec, ok := c.paths[j.id]
+			var owner string
+			if ok {
 				rec.Active = false
+				owner = rec.Owner
 			}
 			c.mu.Unlock()
-			// drop the dead rules so traffic punts instead of blackholing
-			for _, d := range c.Devices() {
-				if rec, ok := c.Path(j.id); ok {
-					_ = d.RemoveRules(rec.Owner)
+			if ok {
+				// drop the dead rules so traffic punts instead of blackholing
+				for _, d := range c.Devices() {
+					_ = d.RemoveRules(owner)
 				}
 			}
 			failed = append(failed, j.id)
@@ -77,22 +80,21 @@ func pathUses(p *routing.Path, ref dataplane.PortRef) bool {
 // outcome for observability.
 func (c *Controller) HandleLinkFailure(dev dataplane.DeviceID, port dataplane.PortID) (repaired, failed []PathID) {
 	ref := dataplane.PortRef{Dev: dev, Port: port}
-	// Find the far end before the record disappears, so paths entering on
-	// the other side are repaired too.
-	var far *dataplane.PortRef
+	// Collect every far end first (a port can anchor several link records
+	// after reconfigurations), so paths entering on any other side are
+	// repaired too.
+	var fars []dataplane.PortRef
 	for _, l := range c.NIB.LinksOf(dev) {
 		if l.A == ref {
-			f := l.B
-			far = &f
+			fars = append(fars, l.B)
 		} else if l.B == ref {
-			f := l.A
-			far = &f
+			fars = append(fars, l.A)
 		}
 	}
 	c.HandlePortStatus(dev, port, false)
 	repaired, failed = c.RepairPaths(ref)
-	if far != nil {
-		r2, f2 := c.RepairPaths(*far)
+	for _, far := range fars {
+		r2, f2 := c.RepairPaths(far)
 		repaired = append(repaired, r2...)
 		failed = append(failed, f2...)
 	}

@@ -101,8 +101,13 @@ func TestHandleLinkFailureEndToEnd(t *testing.T) {
 	if len(repaired) != 1 || len(failed) != 0 {
 		t.Fatalf("repaired=%v failed=%v", repaired, failed)
 	}
-	if f.leaf.NIB.NumLinks() != 3 {
-		t.Fatalf("NIB links = %d, want 3 (one pruned)", f.leaf.NIB.NumLinks())
+	// The failed link's record is retained, marked down, so a later
+	// port-up can restore it without re-discovery.
+	if f.leaf.NIB.NumLinks() != 4 {
+		t.Fatalf("NIB links = %d, want 4 (record retained)", f.leaf.NIB.NumLinks())
+	}
+	if f.leaf.NIB.NumUpLinks() != 3 {
+		t.Fatalf("up NIB links = %d, want 3 (one down)", f.leaf.NIB.NumUpLinks())
 	}
 	res := f.drive(t)
 	if res.Disposition != dataplane.DispEgressed || res.Packet.Path()[1] != "S3" {

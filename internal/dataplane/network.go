@@ -20,6 +20,11 @@ type Network struct {
 	middleboxes  map[DeviceID]*Middlebox
 	mbByPort     map[PortRef]*Middlebox
 	egress       map[string]*EgressPoint
+
+	// installFault, when set, is consulted before every rule install; a
+	// non-nil return fails the install with no state change (fault
+	// injection for failure-path testing).
+	installFault func(DeviceID, *Rule) error
 }
 
 // NewNetwork returns an empty network.
@@ -270,6 +275,16 @@ func (n *Network) EgressPoints() []*EgressPoint {
 	return out
 }
 
+// SetInstallFault installs (or clears, with nil) a hook consulted before
+// every InstallRule; returning an error fails that install with no state
+// change. Used to inject rule-install failures in tests and the chaos
+// harness.
+func (n *Network) SetInstallFault(f func(DeviceID, *Rule) error) {
+	n.mu.Lock()
+	n.installFault = f
+	n.mu.Unlock()
+}
+
 // InstallRule installs r on a switch, reserving r.Demand Mbps on the link
 // behind the rule's output port. Installation fails — leaving no state —
 // when the reservation cannot be admitted.
@@ -277,6 +292,14 @@ func (n *Network) InstallRule(swID DeviceID, r Rule) error {
 	sw := n.Switch(swID)
 	if sw == nil {
 		return fmt.Errorf("dataplane: install on unknown switch %s", swID)
+	}
+	n.mu.RLock()
+	fault := n.installFault
+	n.mu.RUnlock()
+	if fault != nil {
+		if err := fault(swID, &r); err != nil {
+			return err
+		}
 	}
 	if r.Demand > 0 {
 		if l := n.outputLink(sw, r); l != nil {

@@ -172,6 +172,22 @@ func (p *Pair) LogOnly(kind string, payload interface{}) uint64 {
 	return p.Store.Log.Append(kind, payload)
 }
 
+// AttachStandby installs a fresh standby instance after a failover, making
+// the pair survivable again: the promoted instance moves into the master
+// slot and the new instance takes the standby slot. The heartbeat clock
+// resets so the newcomer isn't immediately promoted off stale state.
+func (p *Pair) AttachStandby(id string, redo func(nib.LogEntry)) *Instance {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleMaster {
+		p.master = p.standby
+	}
+	s := NewInstance(id, RoleStandby, redo)
+	p.standby = s
+	p.lastBeat = p.sim.Now()
+	return s
+}
+
 // KillMaster fails the master instance; the standby will detect the missed
 // heartbeats and promote itself.
 func (p *Pair) KillMaster() {

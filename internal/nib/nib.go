@@ -222,6 +222,42 @@ func (n *NIB) PutLink(l Link) {
 	n.notify(Event{Kind: EvLinkAdded, Link: k})
 }
 
+// SetLinkUp flips a link record's Up flag in place, keeping the record so
+// a later port-up can restore it (§6: flapped links must survive in the
+// NIB; routing.BuildGraph skips down links). It fires EvLinkRemoved on a
+// down transition and EvLinkAdded on an up transition, and reports whether
+// the record exists.
+func (n *NIB) SetLinkUp(k LinkKey, up bool) bool {
+	n.mu.Lock()
+	l, ok := n.links[k]
+	changed := ok && l.Up != up
+	if changed {
+		l.Up = up
+	}
+	n.mu.Unlock()
+	if changed {
+		kind := EvLinkRemoved
+		if up {
+			kind = EvLinkAdded
+		}
+		n.notify(Event{Kind: kind, Link: k})
+	}
+	return ok
+}
+
+// NumUpLinks reports the number of link records currently marked up.
+func (n *NIB) NumUpLinks() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	c := 0
+	for _, l := range n.links {
+		if l.Up {
+			c++
+		}
+	}
+	return c
+}
+
 // RemoveLink deletes a link record.
 func (n *NIB) RemoveLink(k LinkKey) {
 	n.mu.Lock()

@@ -156,6 +156,10 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
 				return r.Owner == fm.Owner && r.Version < fm.Version
 			})
+		case FlowDeleteOwnerVersion:
+			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
+				return r.Owner == fm.Owner && r.Version == fm.Version
+			})
 		}
 
 	case TypePacketOut:

@@ -65,11 +65,18 @@ func (c *chanConn) Send(m Msg) error {
 
 // Recv implements Conn.
 func (c *chanConn) Recv() (Msg, error) {
+	// Prefer buffered messages so close doesn't drop in-flight traffic: a
+	// closed connection keeps yielding queued messages until the buffer is
+	// empty, then reports io.EOF.
+	select {
+	case m := <-c.in:
+		return m, nil
+	default:
+	}
 	select {
 	case m := <-c.in:
 		return m, nil
 	case <-c.done:
-		// Drain any message racing with close.
 		select {
 		case m := <-c.in:
 			return m, nil

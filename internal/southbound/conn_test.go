@@ -70,6 +70,31 @@ func TestPipeDrainAfterClose(t *testing.T) {
 	}
 }
 
+func TestPipeDrainsFullBufferAfterClose(t *testing.T) {
+	// Every message buffered before close must be delivered, in order,
+	// before Recv reports EOF — not just one racing message.
+	a, b := Pipe(8)
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := a.Send(Msg{Type: TypeEchoRequest, Xid: uint32(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Close()
+	for i := 0; i < n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("message %d lost after close: %v", i, err)
+		}
+		if m.Xid != uint32(i+1) {
+			t.Fatalf("message %d reordered: xid=%d", i, m.Xid)
+		}
+	}
+	if _, err := b.Recv(); err != io.EOF {
+		t.Fatalf("err after drain = %v, want EOF", err)
+	}
+}
+
 func TestHandshake(t *testing.T) {
 	a, b := Pipe(2)
 	defer a.Close()

@@ -182,6 +182,9 @@ const (
 	// FlowDeleteOwnerBefore removes an owner's rules with a version older
 	// than the given one (consistent path updates, §6).
 	FlowDeleteOwnerBefore
+	// FlowDeleteOwnerVersion removes exactly an owner's rules of one
+	// version (rollback of a partially installed update, §6).
+	FlowDeleteOwnerVersion
 )
 
 // FlowMod is the Body of TypeFlowMod.
