@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check
+.PHONY: build test vet race chaos check bench
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,12 @@ chaos:
 	$(GO) run ./cmd/chaos -events 1000
 
 check: vet race
+
+# Run the routing/abstraction/controller hot-path benchmarks and record the
+# results as JSON lines in BENCH_routing.json (the committed baseline for
+# spotting regressions; compare with `git diff BENCH_routing.json`).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuildGraph|BenchmarkShortestPath|BenchmarkMetricsFrom|BenchmarkPairMetrics|BenchmarkCompute|BenchmarkRouteRecursive|BenchmarkGraphCacheHit|BenchmarkBearerSetup' \
+	  -benchmem ./internal/routing ./internal/reca ./internal/core \
+	  | awk '/^Benchmark/ { gsub(/-[0-9]+$$/, "", $$1); printf("{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n", $$1, $$2, $$3, $$5, $$7) }' \
+	  | tee BENCH_routing.json

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -22,6 +23,7 @@ func main() {
 	events := flag.Int("events", 500, "number of fault events to inject (0 = unbounded)")
 	regions := flag.Int("regions", 3, "number of leaf regions in the ring")
 	verbose := flag.Bool("v", false, "stream the event log")
+	showMetrics := flag.Bool("metrics", false, "dump runtime metrics (graph-cache counters, recompute latency) after the run")
 	flag.Parse()
 
 	if *seed == 0 {
@@ -65,4 +67,8 @@ func main() {
 		s.Events, s.BearersAdded, s.Teardowns, s.LinkFails, s.LinkRestores, s.Flaps,
 		s.SilentPortDowns, s.InstallFaults, s.FaultsInjected, s.Failovers, s.Reconfigs,
 		s.Redos, s.Retries)
+	if *showMetrics {
+		fmt.Println("runtime metrics:")
+		metrics.WriteRuntime(os.Stdout)
+	}
 }

@@ -93,7 +93,9 @@ func BenchmarkEndToEndPacket(b *testing.B) {
 }
 
 // BenchmarkRouteRecursive measures the leaf→root delegation path of the
-// routing service.
+// routing service. The NIB does not change between iterations, so this is
+// the graph-cache-hit steady state (the common case: every bearer request
+// between topology events).
 func BenchmarkRouteRecursive(b *testing.B) {
 	_, h, radio := benchWAN(b)
 	l1 := h.Controller("L1")
@@ -102,6 +104,40 @@ func BenchmarkRouteRecursive(b *testing.B) {
 		res, err := l1.RouteRecursive(RouteRequest{From: radio, Prefix: "pfx", Objective: routing.MinHops})
 		if err != nil || res.ResolvedBy != h.Root {
 			b.Fatalf("delegation failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkRouteRecursiveCacheMiss is the cache-miss variant: every
+// iteration dirties both the leaf's and the root's NIB (re-putting an
+// existing link bumps the generation without changing topology), forcing
+// full graph rebuilds on the delegation path.
+func BenchmarkRouteRecursiveCacheMiss(b *testing.B) {
+	_, h, radio := benchWAN(b)
+	l1 := h.Controller("L1")
+	leafLink := l1.NIB.Links()[0]
+	rootLink := h.Root.NIB.Links()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l1.NIB.PutLink(leafLink)
+		h.Root.NIB.PutLink(rootLink)
+		res, err := l1.RouteRecursive(RouteRequest{From: radio, Prefix: "pfx", Objective: routing.MinHops})
+		if err != nil || res.ResolvedBy != h.Root {
+			b.Fatalf("delegation failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkGraphCacheHit isolates the Graph() fast path: two atomic loads
+// against a clean cache.
+func BenchmarkGraphCacheHit(b *testing.B) {
+	_, h, _ := benchWAN(b)
+	l1 := h.Controller("L1")
+	l1.Graph() // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g := l1.Graph(); g == nil {
+			b.Fatal("nil graph")
 		}
 	}
 }

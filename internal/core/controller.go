@@ -10,14 +10,34 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/interdomain"
+	"repro/internal/metrics"
 	"repro/internal/nib"
 	"repro/internal/pathimpl"
 	"repro/internal/reca"
 	"repro/internal/routing"
 )
+
+// Graph-cache observability (ONOS-style event-invalidated topology cache):
+// hits return the cached graph with two atomic loads; misses rebuild from
+// the NIB. rebuilds ≤ misses — concurrent misses coalesce on one build.
+var (
+	graphCacheHits   = metrics.NewCounter("core.graph.cache_hits")
+	graphCacheMisses = metrics.NewCounter("core.graph.cache_misses")
+	graphRebuilds    = metrics.NewCounter("core.graph.rebuilds")
+	graphBuildTime   = metrics.NewDurationHist("core.graph.build_latency")
+)
+
+// cachedGraph pairs an immutable routing graph with the NIB generation it
+// was built from.
+type cachedGraph struct {
+	gen uint64
+	g   *routing.Graph
+}
 
 // Controller is one SoftMoW controller node.
 type Controller struct {
@@ -34,6 +54,16 @@ type Controller struct {
 
 	// NIB is this controller's network information base (§4).
 	NIB *nib.NIB
+
+	// graphCache holds the last routing graph built from the NIB, tagged
+	// with the NIB generation it reflects. NIB change events clear it
+	// eagerly (Subscribe wiring in NewController); Graph() revalidates the
+	// generation before returning, which also covers mutations that fire
+	// no events (snapshot Restore during standby promotion).
+	graphCache atomic.Pointer[cachedGraph]
+	// graphBuildMu serializes rebuilds so concurrent misses coalesce into
+	// one BuildGraph instead of racing N builds.
+	graphBuildMu sync.Mutex
 
 	mu       sync.Mutex
 	parent   *Controller
@@ -73,7 +103,7 @@ type Stats struct {
 
 // NewController creates a controller with the given identity.
 func NewController(id string, level, index int) *Controller {
-	return &Controller{
+	c := &Controller{
 		ID:       id,
 		Level:    level,
 		Index:    index,
@@ -86,6 +116,11 @@ func NewController(id string, level, index int) *Controller {
 		paths:    make(map[PathID]*PathRecord),
 		ue:       newUEState(),
 	}
+	// Eager cache invalidation: any NIB change event drops the cached
+	// routing graph immediately (freeing it for GC); the generation check
+	// in Graph() is the correctness backstop for event-less mutations.
+	c.NIB.Subscribe(func(nib.Event) { c.graphCache.Store(nil) })
+	return c
 }
 
 // Stats returns a snapshot of the controller's counters.
@@ -262,9 +297,34 @@ func (c *Controller) RefreshDevices() {
 	}
 }
 
-// Graph builds the routing graph over the controller's current NIB view.
+// Graph returns the routing graph over the controller's current NIB view.
+// The graph is cached and event-invalidated: it is rebuilt only when the
+// NIB generation has advanced since the last build, so the steady-state
+// hot path (bearer setup, reroute, policy, repair) pays two atomic loads
+// instead of a full port-expanded reconstruction.
+//
+// Returned graphs are immutable snapshots, safe for concurrent use. A
+// Graph() call that starts after a NIB mutation completes never returns a
+// graph older than that mutation: the generation is read before the build,
+// so a build racing a mutation is tagged stale and the next call rebuilds.
 func (c *Controller) Graph() *routing.Graph {
-	return routing.BuildGraph(c.NIB)
+	if cc := c.graphCache.Load(); cc != nil && cc.gen == c.NIB.Generation() {
+		graphCacheHits.Inc()
+		return cc.g
+	}
+	graphCacheMisses.Inc()
+	c.graphBuildMu.Lock()
+	defer c.graphBuildMu.Unlock()
+	gen := c.NIB.Generation()
+	if cc := c.graphCache.Load(); cc != nil && cc.gen == gen {
+		return cc.g // another miss rebuilt while we waited for the lock
+	}
+	start := time.Now()
+	g := routing.BuildGraph(c.NIB)
+	graphBuildTime.Observe(time.Since(start))
+	graphRebuilds.Inc()
+	c.graphCache.Store(&cachedGraph{gen: gen, g: g})
+	return g
 }
 
 // HandlePacketIn receives punted data-plane packets (table misses, explicit

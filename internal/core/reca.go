@@ -14,7 +14,10 @@ func (c *Controller) ComputeAbstraction() *reca.Abstraction {
 	c.mu.Lock()
 	cfg := c.cfg
 	c.mu.Unlock()
-	ab := reca.Compute(c.ID, c.NIB, cfg)
+	// Reuse the controller's cached routing graph for the fabric fill; it
+	// is revalidated against the NIB generation, so it always reflects the
+	// NIB contents the abstraction is computed from.
+	ab := reca.ComputeWithGraph(c.ID, c.NIB, cfg, c.Graph())
 	c.mu.Lock()
 	c.abstraction = &ab
 	c.stats.Reabstractions++
@@ -67,7 +70,7 @@ func (c *Controller) RefreshFabric(thresholdMbps float64) bool {
 	cfg := c.cfg
 	old := c.abstraction
 	c.mu.Unlock()
-	ab := reca.Compute(c.ID, c.NIB, cfg)
+	ab := reca.ComputeWithGraph(c.ID, c.NIB, cfg, c.Graph())
 	var oldFabric *dataplane.VFabric
 	if old != nil {
 		oldFabric = old.GSwitch.Fabric

@@ -33,7 +33,9 @@ func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []Path
 	}
 	c.mu.Unlock()
 
-	g := c.Graph() // rebuilt view excludes the failed link
+	// The NIB mutation for the failure advanced the generation, so this is
+	// a fresh (cache-missed) view that excludes the failed link.
+	g := c.Graph()
 	for _, j := range jobs {
 		src := j.path.Points[0]
 		dst := j.path.Points[len(j.path.Points)-1]

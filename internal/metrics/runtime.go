@@ -1,0 +1,201 @@
+package metrics
+
+// Runtime observability: lock-free counters and fixed-bucket latency
+// histograms for the control plane's hot paths (graph-cache hits/misses,
+// abstraction recompute latency). Unlike the statistical helpers in this
+// package, these are written on the request path, so every operation is a
+// single atomic and observation never allocates.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter safe for concurrent
+// use. Obtain named instances from NewCounter so they appear in
+// WriteRuntime dumps.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the number of power-of-two latency buckets: bucket b
+// holds observations in [2^b, 2^(b+1)) microseconds, with bucket 0 also
+// absorbing sub-microsecond observations and the last bucket everything
+// beyond ~2^30 µs (≈18 min).
+const histBuckets = 31
+
+// DurationHist is a log₂-bucketed latency histogram safe for concurrent
+// use. Observations cost a handful of atomic adds; quantiles are
+// approximate (upper bucket bound).
+type DurationHist struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *DurationHist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.counts[histBucket(ns)].Add(1)
+}
+
+func histBucket(ns int64) int {
+	us := ns / 1000
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// histBucketUpper is bucket b's exclusive upper bound.
+func histBucketUpper(b int) time.Duration {
+	return time.Duration(int64(1)<<(b+1)) * time.Microsecond
+}
+
+// HistSnapshot is a point-in-time histogram summary.
+type HistSnapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot summarizes the histogram. Quantiles are upper bucket bounds
+// (conservative estimates).
+func (h *DurationHist) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Max: time.Duration(h.max.Load())}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(h.sum.Load() / s.Count)
+	s.P50 = h.quantile(0.50)
+	s.P95 = h.quantile(0.95)
+	return s
+}
+
+func (h *DurationHist) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var cum int64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.counts[b].Load()
+		if cum > target {
+			u := histBucketUpper(b)
+			if m := time.Duration(h.max.Load()); u > m {
+				return m
+			}
+			return u
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// runtimeReg is the process-wide registry behind NewCounter /
+// NewDurationHist. Registration is rare (package init); reads and writes
+// of the instruments themselves never touch the registry lock.
+var runtimeReg = struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*DurationHist
+}{
+	counters: make(map[string]*Counter),
+	hists:    make(map[string]*DurationHist),
+}
+
+// NewCounter returns the named process-wide counter, creating it on first
+// use. Repeated calls with one name share one instance.
+func NewCounter(name string) *Counter {
+	runtimeReg.mu.Lock()
+	defer runtimeReg.mu.Unlock()
+	if c, ok := runtimeReg.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	runtimeReg.counters[name] = c
+	return c
+}
+
+// NewDurationHist returns the named process-wide latency histogram,
+// creating it on first use.
+func NewDurationHist(name string) *DurationHist {
+	runtimeReg.mu.Lock()
+	defer runtimeReg.mu.Unlock()
+	if h, ok := runtimeReg.hists[name]; ok {
+		return h
+	}
+	h := &DurationHist{}
+	runtimeReg.hists[name] = h
+	return h
+}
+
+// RuntimeCounters snapshots every registered counter by name.
+func RuntimeCounters() map[string]int64 {
+	runtimeReg.mu.Lock()
+	defer runtimeReg.mu.Unlock()
+	out := make(map[string]int64, len(runtimeReg.counters))
+	for name, c := range runtimeReg.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// WriteRuntime renders all registered counters and histograms to w in
+// deterministic (sorted) order.
+func WriteRuntime(w io.Writer) {
+	runtimeReg.mu.Lock()
+	cnames := make([]string, 0, len(runtimeReg.counters))
+	for name := range runtimeReg.counters {
+		cnames = append(cnames, name)
+	}
+	hnames := make([]string, 0, len(runtimeReg.hists))
+	for name := range runtimeReg.hists {
+		hnames = append(hnames, name)
+	}
+	counters := runtimeReg.counters
+	hists := runtimeReg.hists
+	runtimeReg.mu.Unlock()
+	sort.Strings(cnames)
+	sort.Strings(hnames)
+	for _, name := range cnames {
+		fmt.Fprintf(w, "%s %d\n", name, counters[name].Value())
+	}
+	for _, name := range hnames {
+		s := hists[name].Snapshot()
+		fmt.Fprintf(w, "%s count=%d mean=%v p50=%v p95=%v max=%v\n",
+			name, s.Count, s.Mean, s.P50, s.P95, s.Max)
+	}
+}

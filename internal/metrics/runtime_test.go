@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter("test.counter.concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if NewCounter("test.counter.concurrent") != c {
+		t.Fatal("same name must return the same counter instance")
+	}
+}
+
+func TestDurationHistSnapshot(t *testing.T) {
+	h := NewDurationHist("test.hist.snapshot")
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Fatalf("max = %v, want 100ms", s.Max)
+	}
+	wantMean := (90*time.Millisecond + 10*100*time.Millisecond) / 100
+	if s.Mean != wantMean {
+		t.Fatalf("mean = %v, want %v", s.Mean, wantMean)
+	}
+	// P50 falls in the 1ms bucket ([1ms, 2ms) upper bound 2.048ms); P95 in
+	// the 100ms bucket, clamped to the observed max.
+	if s.P50 > 3*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1-2ms", s.P50)
+	}
+	if s.P95 != 100*time.Millisecond {
+		t.Fatalf("p95 = %v, want clamped to max 100ms", s.P95)
+	}
+}
+
+func TestDurationHistConcurrent(t *testing.T) {
+	h := NewDurationHist("test.hist.concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(time.Duration(w+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 4000 {
+		t.Fatalf("count = %d, want 4000", s.Count)
+	}
+}
+
+func TestWriteRuntime(t *testing.T) {
+	NewCounter("test.write.a").Add(3)
+	NewDurationHist("test.write.h").Observe(5 * time.Millisecond)
+	var b strings.Builder
+	WriteRuntime(&b)
+	out := b.String()
+	if !strings.Contains(out, "test.write.a 3") {
+		t.Fatalf("counter line missing from dump:\n%s", out)
+	}
+	if !strings.Contains(out, "test.write.h count=1") {
+		t.Fatalf("hist line missing from dump:\n%s", out)
+	}
+	if snap := RuntimeCounters(); snap["test.write.a"] != 3 {
+		t.Fatalf("RuntimeCounters = %v", snap["test.write.a"])
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataplane"
@@ -120,6 +121,13 @@ type NIB struct {
 	mu      sync.RWMutex
 	devices map[dataplane.DeviceID]*Device
 	links   map[LinkKey]*Link
+	// gen counts mutations; it is bumped inside the write critical section
+	// of every state-changing operation, so any reader that observes a
+	// generation value and then acquires the NIB lock sees at least all
+	// mutations up to that generation. Consumers (the controller's routing
+	// graph cache) compare generations to detect staleness without
+	// subscribing to individual events.
+	gen atomic.Uint64
 
 	subMu sync.RWMutex
 	subs  map[int]Subscriber
@@ -141,6 +149,12 @@ func New() *NIB {
 // Log exposes the NIB's durable event log (§6 failover).
 func (n *NIB) Log() *EventLog { return n.log }
 
+// Generation returns the NIB's mutation counter. It advances on every
+// state change (device put/remove, link put/remove, Up-flag flip, snapshot
+// restore) and never otherwise, so equal generations imply an unchanged
+// topology view.
+func (n *NIB) Generation() uint64 { return n.gen.Load() }
+
 // PutDevice inserts or replaces a device record (copied).
 func (n *NIB) PutDevice(d Device) {
 	n.mu.Lock()
@@ -152,6 +166,7 @@ func (n *NIB) PutDevice(d Device) {
 		dc.Fabric = d.Fabric.Clone()
 	}
 	n.devices[d.ID] = &dc
+	n.gen.Add(1)
 	n.mu.Unlock()
 	n.notify(Event{Kind: EvDeviceAdded, Device: d.ID})
 }
@@ -169,6 +184,9 @@ func (n *NIB) RemoveDevice(id dataplane.DeviceID) {
 	}
 	for _, k := range dropped {
 		delete(n.links, k)
+	}
+	if existed || len(dropped) > 0 {
+		n.gen.Add(1)
 	}
 	n.mu.Unlock()
 	if existed {
@@ -218,6 +236,7 @@ func (n *NIB) PutLink(l Link) {
 	n.mu.Lock()
 	lc := l
 	n.links[k] = &lc
+	n.gen.Add(1)
 	n.mu.Unlock()
 	n.notify(Event{Kind: EvLinkAdded, Link: k})
 }
@@ -233,6 +252,7 @@ func (n *NIB) SetLinkUp(k LinkKey, up bool) bool {
 	changed := ok && l.Up != up
 	if changed {
 		l.Up = up
+		n.gen.Add(1)
 	}
 	n.mu.Unlock()
 	if changed {
@@ -263,6 +283,9 @@ func (n *NIB) RemoveLink(k LinkKey) {
 	n.mu.Lock()
 	_, existed := n.links[k]
 	delete(n.links, k)
+	if existed {
+		n.gen.Add(1)
+	}
 	n.mu.Unlock()
 	if existed {
 		n.notify(Event{Kind: EvLinkRemoved, Link: k})
@@ -379,10 +402,13 @@ func (n *NIB) Snapshot() *Snapshot {
 }
 
 // Restore replaces the NIB contents from a snapshot without firing
-// subscriber events (used during standby promotion).
+// subscriber events (used during standby promotion). The generation still
+// advances so stale derived state (cached routing graphs) is invalidated
+// even though no events fire.
 func (n *NIB) Restore(s *Snapshot) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.gen.Add(1)
 	n.devices = make(map[dataplane.DeviceID]*Device, len(s.Devices))
 	for i := range s.Devices {
 		d := s.Devices[i]

@@ -269,3 +269,74 @@ func TestDevicePortByID(t *testing.T) {
 		t.Fatal("port 9 should not exist")
 	}
 }
+
+// TestGenerationAdvancesOnMutations checks that every state-changing
+// operation bumps the generation, no-ops do not, and event-less Restore
+// still advances it (the routing-graph cache keys off this counter).
+func TestGenerationAdvancesOnMutations(t *testing.T) {
+	n := New()
+	g0 := n.Generation()
+
+	n.PutDevice(dev("A", dataplane.KindSwitch))
+	n.PutDevice(dev("B", dataplane.KindSwitch))
+	if n.Generation() != g0+2 {
+		t.Fatalf("generation after 2 PutDevice = %d, want %d", n.Generation(), g0+2)
+	}
+
+	l := link("A", 1, "B", 1)
+	n.PutLink(l)
+	g := n.Generation()
+	if g != g0+3 {
+		t.Fatalf("generation after PutLink = %d, want %d", g, g0+3)
+	}
+
+	// Up-flag flip bumps; repeating the same state is a no-op.
+	if !n.SetLinkUp(l.Key(), false) {
+		t.Fatal("SetLinkUp should find the record")
+	}
+	if n.Generation() != g+1 {
+		t.Fatalf("generation after down-flip = %d, want %d", n.Generation(), g+1)
+	}
+	n.SetLinkUp(l.Key(), false) // no change
+	if n.Generation() != g+1 {
+		t.Fatalf("no-op SetLinkUp moved the generation to %d", n.Generation())
+	}
+
+	// Reads never move it.
+	_ = n.Links()
+	_ = n.Devices(dataplane.KindUnknown)
+	_, _ = n.Device("A")
+	_ = n.Snapshot()
+	if n.Generation() != g+1 {
+		t.Fatalf("reads moved the generation to %d", n.Generation())
+	}
+
+	// Removing a missing link is a no-op; removing a real one bumps.
+	n.RemoveLink(NewLinkKey(dataplane.PortRef{Dev: "X", Port: 1}, dataplane.PortRef{Dev: "Y", Port: 1}))
+	if n.Generation() != g+1 {
+		t.Fatalf("no-op RemoveLink moved the generation to %d", n.Generation())
+	}
+	n.RemoveLink(l.Key())
+	if n.Generation() != g+2 {
+		t.Fatalf("generation after RemoveLink = %d, want %d", n.Generation(), g+2)
+	}
+
+	// RemoveDevice bumps once (even when it cascades links); removing a
+	// missing device is a no-op.
+	n.RemoveDevice("missing")
+	if n.Generation() != g+2 {
+		t.Fatalf("no-op RemoveDevice moved the generation to %d", n.Generation())
+	}
+	n.RemoveDevice("A")
+	if n.Generation() != g+3 {
+		t.Fatalf("generation after RemoveDevice = %d, want %d", n.Generation(), g+3)
+	}
+
+	// Restore fires no events but must still advance the generation.
+	snap := n.Snapshot()
+	before := n.Generation()
+	n.Restore(snap)
+	if n.Generation() <= before {
+		t.Fatalf("Restore did not advance the generation (%d -> %d)", before, n.Generation())
+	}
+}

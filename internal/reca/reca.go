@@ -12,11 +12,24 @@ package reca
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/metrics"
 	"repro/internal/nib"
 	"repro/internal/routing"
+)
+
+// Recompute observability: how often abstractions are recomputed and how
+// long the full recompute and its fabric fill take (§3.2 is the per-event
+// hot path above the leaf level).
+var (
+	computeCount   = metrics.NewCounter("reca.compute.count")
+	computeLatency = metrics.NewDurationHist("reca.compute.latency")
+	fabricLatency  = metrics.NewDurationHist("reca.fabric.latency")
 )
 
 // RadioAttachment configures one radio device in the controller's scope: a
@@ -93,6 +106,18 @@ func InternalGBSID(controllerID string) dataplane.DeviceID {
 // Compute builds the abstraction for controller ctrlID from its NIB view
 // and configuration.
 func Compute(ctrlID string, n *nib.NIB, cfg Config) Abstraction {
+	return ComputeWithGraph(ctrlID, n, cfg, nil)
+}
+
+// ComputeWithGraph is Compute with an optional prebuilt routing graph over
+// n (the controller's cached graph); pass nil to have the fabric fill
+// build its own. The graph must reflect n's current contents.
+func ComputeWithGraph(ctrlID string, n *nib.NIB, cfg Config, g *routing.Graph) Abstraction {
+	start := time.Now()
+	defer func() {
+		computeCount.Inc()
+		computeLatency.Observe(time.Since(start))
+	}()
 	ab := Abstraction{GSwitch: dataplane.GSwitchInfo{ID: GSwitchID(ctrlID)}}
 
 	// Index link endpoints: ports with a discovered internal link are
@@ -205,7 +230,7 @@ func Compute(ctrlID string, n *nib.NIB, cfg Config) Abstraction {
 		ab.GMiddleboxes = append(ab.GMiddleboxes, g)
 	}
 
-	ab.GSwitch.Fabric = computeFabric(n, ab.GSwitch.Ports)
+	ab.GSwitch.Fabric = computeFabric(n, g, ab.GSwitch.Ports)
 	return ab
 }
 
@@ -216,11 +241,29 @@ func constituentsOf(r RadioAttachment) []dataplane.DeviceID {
 	return []dataplane.DeviceID{r.ID}
 }
 
+// fabricWorkers bounds the SSSP worker pool used by computeFabric; tests
+// override it to force serial or heavily contended fills.
+var fabricWorkers = runtime.GOMAXPROCS(0)
+
+// fabricParallelThreshold is the minimum number of SSSP sweeps worth
+// spawning goroutines for; below it the fill runs serially.
+const fabricParallelThreshold = 4
+
 // computeFabric fills the vFabric with shortest-path metrics between every
 // exposed port pair (§3.2). Attach ports with Underlying.Port == 0 resolve
 // to any port of the underlying device (intra-switch traversal is free).
-func computeFabric(n *nib.NIB, ports []dataplane.GPort) *dataplane.VFabric {
-	g := routing.BuildGraph(n)
+//
+// One SSSP per exposed port fills the whole fabric row (O(P·E log V)
+// instead of O(P²·E log V)), and because the routing graph is immutable
+// once built, the per-port sweeps are embarrassingly parallel: they fan
+// out across a bounded worker pool, then the rows are committed to the
+// fabric sequentially in port order so the result stays deterministic.
+func computeFabric(n *nib.NIB, g *routing.Graph, ports []dataplane.GPort) *dataplane.VFabric {
+	start := time.Now()
+	defer func() { fabricLatency.Observe(time.Since(start)) }()
+	if g == nil {
+		g = routing.BuildGraph(n)
+	}
 	fabric := dataplane.NewVFabric()
 	resolve := func(gp dataplane.GPort) (dataplane.PortRef, bool) {
 		ref := gp.Underlying
@@ -233,18 +276,52 @@ func computeFabric(n *nib.NIB, ports []dataplane.GPort) *dataplane.VFabric {
 		}
 		return dataplane.PortRef{Dev: ref.Dev, Port: d.Ports[0].ID}, true
 	}
-	// One SSSP per exposed port fills the whole fabric row (O(P·E log V)
-	// instead of O(P²·E log V)).
 	resolved := make([]dataplane.PortRef, len(ports))
 	oks := make([]bool, len(ports))
+	sweeps := 0
 	for i := range ports {
 		resolved[i], oks[i] = resolve(ports[i])
+		// The last port's row is never read (pairs are filled for j > i).
+		if oks[i] && i < len(ports)-1 {
+			sweeps++
+		}
+	}
+	rows := make([]map[dataplane.PortRef]dataplane.PathMetrics, len(ports))
+	workers := fabricWorkers
+	if workers > sweeps {
+		workers = sweeps
+	}
+	if workers < 1 || sweeps < fabricParallelThreshold {
+		workers = 1
+	}
+	if workers == 1 {
+		for i := 0; i < len(ports)-1; i++ {
+			if oks[i] {
+				rows[i] = g.MetricsFrom(resolved[i])
+			}
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					rows[i] = g.MetricsFrom(resolved[i])
+				}
+			}()
+		}
+		for i := 0; i < len(ports)-1; i++ {
+			if oks[i] {
+				idx <- i
+			}
+		}
+		close(idx)
+		wg.Wait()
 	}
 	for i := 0; i < len(ports); i++ {
-		var row map[dataplane.PortRef]dataplane.PathMetrics
-		if oks[i] {
-			row = g.MetricsFrom(resolved[i])
-		}
+		row := rows[i]
 		for j := i + 1; j < len(ports); j++ {
 			if !oks[i] || !oks[j] {
 				fabric.Set(ports[i].ID, ports[j].ID, dataplane.PathMetrics{})

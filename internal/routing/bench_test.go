@@ -75,3 +75,34 @@ func BenchmarkMetricsFrom(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPairMetrics measures the cost-only pair query (no path
+// reconstruction) used O(ports²) by the abstraction recompute.
+func BenchmarkPairMetrics(b *testing.B) {
+	g := BuildGraph(gridNIB(18))
+	src := dataplane.PortRef{Dev: "SW0000", Port: 1}
+	dst := dataplane.PortRef{Dev: "SW1717", Port: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m := g.PairMetrics(src, dst); !m.Reachable {
+			b.Fatal("unreachable")
+		}
+	}
+}
+
+// BenchmarkShortestPathParallel runs corner-to-corner Dijkstras from all
+// procs at once, exercising scratch-pool contention (the abstraction
+// recompute's access pattern).
+func BenchmarkShortestPathParallel(b *testing.B) {
+	g := BuildGraph(gridNIB(18))
+	src := dataplane.PortRef{Dev: "SW0000", Port: 1}
+	dst := dataplane.PortRef{Dev: "SW1717", Port: 1}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := g.ShortestPath(src, dst, MinHops, Constraints{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,7 +1,6 @@
 package routing
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 	"time"
@@ -118,28 +117,145 @@ type Segment struct {
 // ErrNoPath is returned when no admissible path exists.
 var ErrNoPath = errors.New("routing: no admissible path")
 
-type pqItem struct {
-	node  int
-	cost  Cost
-	index int
+// pqEntry is one heap element: a node plus the tentative cost it was
+// enqueued with (lazy-deletion Dijkstra).
+type pqEntry struct {
+	node int32
+	cost Cost
 }
 
-type pq struct {
-	items []*pqItem
-	obj   Objective
+// costHeap is a hand-rolled binary min-heap over pqEntry values ordered by
+// an Objective. Value storage on a reused backing slice keeps the relax
+// loop allocation-free (container/heap boxes every Push through
+// interface{} and forced per-item index bookkeeping that nothing read).
+type costHeap struct {
+	entries []pqEntry
+	obj     Objective
 }
 
-func (q pq) Len() int            { return len(q.items) }
-func (q pq) Less(i, j int) bool  { return q.items[i].cost.less(q.items[j].cost, q.obj) }
-func (q pq) Swap(i, j int)       { q.items[i], q.items[j] = q.items[j], q.items[i]; q.items[i].index = i; q.items[j].index = j }
-func (q *pq) Push(x interface{}) { it := x.(*pqItem); it.index = len(q.items); q.items = append(q.items, it) }
-func (q *pq) Pop() interface{} {
-	old := q.items
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	q.items = old[:n-1]
-	return it
+func (h *costHeap) reset(obj Objective) {
+	h.entries = h.entries[:0]
+	h.obj = obj
+}
+
+func (h *costHeap) push(e pqEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.entries[i].cost.less(h.entries[p].cost, h.obj) {
+			break
+		}
+		h.entries[i], h.entries[p] = h.entries[p], h.entries[i]
+		i = p
+	}
+}
+
+func (h *costHeap) pop() pqEntry {
+	top := h.entries[0]
+	n := len(h.entries) - 1
+	h.entries[0] = h.entries[n]
+	h.entries = h.entries[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h.entries[l].cost.less(h.entries[m].cost, h.obj) {
+			m = l
+		}
+		if r < n && h.entries[r].cost.less(h.entries[m].cost, h.obj) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.entries[i], h.entries[m] = h.entries[m], h.entries[i]
+		i = m
+	}
+	return top
+}
+
+// scratch is the reusable per-SSSP working state, sized to the graph's
+// node count and pooled on the Graph so steady-state path computations
+// allocate nothing but their results.
+type scratch struct {
+	dist     []Cost
+	seen     []bool
+	prev     []int32
+	prevLink []bool
+	heap     costHeap
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		dist:     make([]Cost, n),
+		seen:     make([]bool, n),
+		prev:     make([]int32, n),
+		prevLink: make([]bool, n),
+		heap:     costHeap{entries: make([]pqEntry, 0, n)},
+	}
+}
+
+// unreached is the Dijkstra initialization sentinel: any real cost
+// compares less under both objectives.
+var unreached = Cost{Hops: math.MaxInt32, Latency: time.Duration(math.MaxInt64 / 4)}
+
+// sssp is the single relax loop shared by ShortestPath, MetricsFrom, and
+// PairMetrics: Dijkstra from s under obj and ct. When dst >= 0 the search
+// stops as soon as dst is settled; trackPrev records predecessors for path
+// reconstruction. After it returns, sc.seen marks exactly the settled
+// (reachable, constraint-admissible) nodes and sc.dist their final costs.
+func (g *Graph) sssp(sc *scratch, s, dst int, obj Objective, ct Constraints, trackPrev bool) {
+	n := len(g.refs)
+	for i := 0; i < n; i++ {
+		sc.dist[i] = unreached
+		sc.seen[i] = false
+	}
+	if trackPrev {
+		for i := 0; i < n; i++ {
+			sc.prev[i] = -1
+			sc.prevLink[i] = false
+		}
+	}
+	sc.dist[s] = Cost{Bottleneck: math.Inf(1)}
+	sc.heap.reset(obj)
+	sc.heap.push(pqEntry{node: int32(s), cost: sc.dist[s]})
+	for len(sc.heap.entries) > 0 {
+		it := sc.heap.pop()
+		u := int(it.node)
+		if sc.seen[u] {
+			continue
+		}
+		sc.seen[u] = true
+		if u == dst {
+			return
+		}
+		du := sc.dist[u]
+		for _, e := range g.adj[u] {
+			if sc.seen[e.to] {
+				continue
+			}
+			if ct.MinBandwidth > 0 && e.bandwidth < ct.MinBandwidth {
+				continue
+			}
+			nc := Cost{
+				Hops:       du.Hops + e.hops,
+				Latency:    du.Latency + e.latency,
+				Bottleneck: math.Min(du.Bottleneck, e.bandwidth),
+			}
+			if nc.violates(ct) {
+				continue
+			}
+			if nc.less(sc.dist[e.to], obj) {
+				sc.dist[e.to] = nc
+				if trackPrev {
+					sc.prev[e.to] = int32(u)
+					sc.prevLink[e.to] = e.link
+				}
+				sc.heap.push(pqEntry{node: int32(e.to), cost: nc})
+			}
+		}
+	}
 }
 
 // ShortestPath computes the optimal path from src to dst under the
@@ -154,72 +270,32 @@ func (g *Graph) ShortestPath(src, dst dataplane.PortRef, obj Objective, ct Const
 	if !ok {
 		return nil, ErrNoPath
 	}
-	n := len(g.refs)
-	dist := make([]Cost, n)
-	seen := make([]bool, n)
-	prev := make([]int, n)
-	prevLink := make([]bool, n)
-	for i := range dist {
-		dist[i] = Cost{Hops: math.MaxInt32, Latency: time.Duration(math.MaxInt64 / 4), Bottleneck: 0}
-		prev[i] = -1
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	g.sssp(sc, s, d, obj, ct, true)
+	if !sc.seen[d] {
+		return nil, ErrNoPath
 	}
-	dist[s] = Cost{Bottleneck: math.Inf(1)}
-	q := &pq{obj: obj}
-	heap.Push(q, &pqItem{node: s, cost: dist[s]})
-	for q.Len() > 0 {
-		it := heap.Pop(q).(*pqItem)
-		u := it.node
-		if seen[u] {
-			continue
-		}
-		seen[u] = true
-		if u == d {
+	if sc.dist[d].violates(ct) {
+		return nil, ErrNoPath
+	}
+	// Reconstruct; only the returned Path's slices escape.
+	length := 1
+	for at := d; sc.prev[at] != -1; at = int(sc.prev[at]) {
+		length++
+	}
+	p := &Path{Cost: sc.dist[d], Points: make([]dataplane.PortRef, length)}
+	if length > 1 {
+		p.LinkCrossings = make([]bool, length-1)
+	}
+	at := d
+	for i := length - 1; ; i-- {
+		p.Points[i] = g.refs[at]
+		if sc.prev[at] == -1 {
 			break
 		}
-		for _, e := range g.adj[u] {
-			if seen[e.to] {
-				continue
-			}
-			if ct.MinBandwidth > 0 && e.bandwidth < ct.MinBandwidth {
-				continue
-			}
-			nc := Cost{
-				Hops:       dist[u].Hops + e.hops,
-				Latency:    dist[u].Latency + e.latency,
-				Bottleneck: math.Min(dist[u].Bottleneck, e.bandwidth),
-			}
-			if nc.violates(ct) {
-				continue
-			}
-			if nc.less(dist[e.to], obj) {
-				dist[e.to] = nc
-				prev[e.to] = u
-				prevLink[e.to] = e.link
-				heap.Push(q, &pqItem{node: e.to, cost: nc})
-			}
-		}
-	}
-	if !seen[d] && prev[d] == -1 && s != d {
-		return nil, ErrNoPath
-	}
-	if dist[d].violates(ct) {
-		return nil, ErrNoPath
-	}
-	// Reconstruct.
-	var rev []int
-	var revLink []bool
-	for at := d; at != -1; at = prev[at] {
-		rev = append(rev, at)
-		if prev[at] != -1 {
-			revLink = append(revLink, prevLink[at])
-		}
-	}
-	p := &Path{Cost: dist[d]}
-	for i := len(rev) - 1; i >= 0; i-- {
-		p.Points = append(p.Points, g.refs[rev[i]])
-	}
-	for i := len(revLink) - 1; i >= 0; i-- {
-		p.LinkCrossings = append(p.LinkCrossings, revLink[i])
+		p.LinkCrossings[i-1] = sc.prevLink[at]
+		at = int(sc.prev[at])
 	}
 	return p, nil
 }
@@ -228,55 +304,27 @@ func (g *Graph) ShortestPath(src, dst dataplane.PortRef, obj Objective, ct Const
 // objective) and returns the vFabric metrics from src to every reachable
 // port ref. It is the bulk variant of PairMetrics used when abstracting
 // regions with many border ports (one SSSP per exposed port instead of one
-// Dijkstra per pair).
+// Dijkstra per pair). The graph is immutable once built, so concurrent
+// MetricsFrom calls are safe — the abstraction recompute fans them out
+// across a worker pool.
 func (g *Graph) MetricsFrom(src dataplane.PortRef) map[dataplane.PortRef]dataplane.PathMetrics {
 	s, ok := g.nodes[src]
 	if !ok {
 		return nil
 	}
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	g.sssp(sc, s, -1, MinHops, Constraints{}, false)
 	n := len(g.refs)
-	dist := make([]Cost, n)
-	seen := make([]bool, n)
-	reached := make([]bool, n)
-	for i := range dist {
-		dist[i] = Cost{Hops: math.MaxInt32, Latency: time.Duration(math.MaxInt64 / 4)}
-	}
-	dist[s] = Cost{Bottleneck: math.Inf(1)}
-	reached[s] = true
-	q := &pq{obj: MinHops}
-	heap.Push(q, &pqItem{node: s, cost: dist[s]})
-	for q.Len() > 0 {
-		it := heap.Pop(q).(*pqItem)
-		u := it.node
-		if seen[u] {
-			continue
-		}
-		seen[u] = true
-		for _, e := range g.adj[u] {
-			if seen[e.to] {
-				continue
-			}
-			nc := Cost{
-				Hops:       dist[u].Hops + e.hops,
-				Latency:    dist[u].Latency + e.latency,
-				Bottleneck: math.Min(dist[u].Bottleneck, e.bandwidth),
-			}
-			if nc.less(dist[e.to], MinHops) {
-				dist[e.to] = nc
-				reached[e.to] = true
-				heap.Push(q, &pqItem{node: e.to, cost: nc})
-			}
-		}
-	}
 	out := make(map[dataplane.PortRef]dataplane.PathMetrics, n)
 	for i := 0; i < n; i++ {
-		if !reached[i] {
+		if !sc.seen[i] {
 			continue
 		}
 		out[g.refs[i]] = dataplane.PathMetrics{
-			Latency:   dist[i].Latency,
-			Hops:      dist[i].Hops,
-			Bandwidth: dist[i].Bottleneck,
+			Latency:   sc.dist[i].Latency,
+			Hops:      sc.dist[i].Hops,
+			Bandwidth: sc.dist[i].Bottleneck,
 			Reachable: true,
 		}
 	}
@@ -285,19 +333,32 @@ func (g *Graph) MetricsFrom(src dataplane.PortRef) map[dataplane.PortRef]datapla
 
 // PairMetrics computes the vFabric annotation for a border-port pair: the
 // MinHops shortest path's cost, with the bottleneck bandwidth of that path
-// (§3.2). Returns an unreachable PathMetrics when no path exists.
+// (§3.2). Returns an unreachable PathMetrics when no path exists. Only the
+// cost triple is computed — no predecessor tracking or path
+// reconstruction — since it is called O(ports²) from the abstraction
+// recompute.
 func (g *Graph) PairMetrics(a, b dataplane.PortRef) dataplane.PathMetrics {
-	p, err := g.ShortestPath(a, b, MinHops, Constraints{})
-	if err != nil {
+	s, ok := g.nodes[a]
+	if !ok {
+		return dataplane.PathMetrics{}
+	}
+	d, ok := g.nodes[b]
+	if !ok {
+		return dataplane.PathMetrics{}
+	}
+	sc := g.getScratch()
+	defer g.putScratch(sc)
+	g.sssp(sc, s, d, MinHops, Constraints{}, false)
+	if !sc.seen[d] {
 		return dataplane.PathMetrics{}
 	}
 	// Same-device pairs traverse only the switch backplane; +Inf propagates
 	// through gob and min() correctly, so it is kept as-is.
-	bw := p.Cost.Bottleneck
+	c := sc.dist[d]
 	return dataplane.PathMetrics{
-		Latency:   p.Cost.Latency,
-		Hops:      p.Cost.Hops,
-		Bandwidth: bw,
+		Latency:   c.Latency,
+		Hops:      c.Hops,
+		Bandwidth: c.Bottleneck,
 		Reachable: true,
 	}
 }

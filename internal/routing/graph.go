@@ -14,17 +14,35 @@ package routing
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/nib"
 )
 
-// Graph is a port-expanded routing graph built from a NIB.
+// Graph is a port-expanded routing graph built from a NIB. Once built it
+// is immutable, so it may be shared freely across goroutines (the
+// controller caches one per NIB generation); per-query Dijkstra scratch
+// state lives in an internal pool, making all path computations safe to
+// run concurrently.
 type Graph struct {
 	nodes map[dataplane.PortRef]int
 	refs  []dataplane.PortRef
 	adj   [][]edge
+
+	// scratchPool recycles per-SSSP working state ([]Cost/[]bool/heap
+	// slices sized to the node count) so steady-state queries are
+	// allocation-free.
+	scratchPool sync.Pool
+}
+
+func (g *Graph) getScratch() *scratch {
+	return g.scratchPool.Get().(*scratch)
+}
+
+func (g *Graph) putScratch(sc *scratch) {
+	g.scratchPool.Put(sc)
 }
 
 type edge struct {
@@ -104,6 +122,8 @@ func BuildGraph(n *nib.NIB) *Graph {
 	for i := range g.adj {
 		sort.Slice(g.adj[i], func(x, y int) bool { return g.less(g.adj[i][x], g.adj[i][y]) })
 	}
+	nn := len(g.refs)
+	g.scratchPool.New = func() interface{} { return newScratch(nn) }
 	return g
 }
 
