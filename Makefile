@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench
+.PHONY: build test vet race chaos check bench docs-check
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,11 @@ race:
 chaos:
 	$(GO) run ./cmd/chaos -events 1000
 
-check: vet race
+# Fail when an exported symbol under internal/... lacks a doc comment.
+docs-check:
+	$(GO) run ./cmd/docscheck internal
+
+check: vet race docs-check
 
 # Run the routing/abstraction/controller hot-path benchmarks and record the
 # results as JSON lines in BENCH_routing.json (the committed baseline for

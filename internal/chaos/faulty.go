@@ -84,6 +84,23 @@ func (d *FaultyDevice) InstallRule(r dataplane.Rule) error {
 	return d.Inner.InstallRule(r)
 }
 
+// InstallRules implements core.BatchInstaller so batched flushes stay
+// fault-injectable: the plan is consulted per rule, so an armed fault can
+// land mid-batch, leaving the already-applied prefix behind exactly like
+// a device that aborted a FlowModBatch partway — the controller's
+// version-exact rollback must then scrub it.
+func (d *FaultyDevice) InstallRules(rules []dataplane.Rule) error {
+	for _, r := range rules {
+		if err := d.Plan.fail(d.Inner.ID()); err != nil {
+			return err
+		}
+		if err := d.Inner.InstallRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RemoveRules implements core.Device.
 func (d *FaultyDevice) RemoveRules(owner string) error { return d.Inner.RemoveRules(owner) }
 

@@ -1,25 +1,3 @@
-// Package chaos is a randomized fault-injection harness for the SoftMoW
-// reproduction: it builds a multi-region two-level controller hierarchy
-// over a ring of diamond regions, then drives it through an interleaved
-// stream of failure events — link failures and restores, flaps, silent
-// port-downs, rule-install faults, controller failovers with write-ahead
-// redo (internal/ha), and §5.3.2 border-group reconfigurations — while
-// checking global invariants after every event:
-//
-//  1. no orphaned rules: every physical flow rule belongs to an active
-//     path record (matching version) at some controller in the hierarchy;
-//  2. NIB/data-plane link consistency: intra-region links are mirrored in
-//     the owning leaf's NIB and cross-region links in the root's NIB, with
-//     Up flags matching the physical state;
-//  3. end-to-end reachability: every active bearer's traffic egresses at
-//     the expected peering point with at most one label per physical
-//     packet (ModeSwap, §4.3), and every broken bearer's traffic punts
-//     (never blackholes or loops);
-//  4. single mastership: each controller's HA pair has exactly one master.
-//
-// All randomness derives from one seed (simnet.RNG), every iteration order
-// is sorted, and the data plane is driven in-process on one goroutine, so
-// a printed seed replays the identical event sequence.
 package chaos
 
 import (
@@ -234,6 +212,10 @@ func (h *Harness) buildTopology() error {
 	var leaves []*core.Controller
 	for k := 0; k < R; k++ {
 		leaf := core.NewController(h.regions[k].homeLeaf, 1, k)
+		// Serial rule programming: the positional FaultPlan and the
+		// replayable event log both depend on a seed-deterministic
+		// install order, which concurrent batch fan-out would break.
+		leaf.SerialSouthbound = true
 		for _, swID := range wirings[k].switches {
 			inner := core.NewSwitchDevice(net, net.Switch(swID))
 			// Attach the inner adapter first so the controller back-pointer
@@ -253,6 +235,7 @@ func (h *Harness) buildTopology() error {
 		leaves = append(leaves, leaf)
 	}
 	root := core.NewController("root", 2, R)
+	root.SerialSouthbound = true
 	for _, leaf := range leaves {
 		root.AttachChild(leaf)
 	}

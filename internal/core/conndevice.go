@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -29,11 +30,23 @@ type ConnDevice struct {
 	ctrl    *Controller
 	pending map[uint32]chan southbound.Msg
 	closed  bool
+	// backlog holds events that arrived during the feature handshake,
+	// before any controller was attached; setController replays them.
+	backlog []southbound.Msg
 
 	xid atomic.Uint32
 
 	// RequestTimeout bounds synchronous request round-trips.
 	RequestTimeout time.Duration
+	// BarrierRetries is how many extra barrier attempts a fence makes after
+	// a timeout before the operation is reported failed (each attempt is
+	// itself bounded by RequestTimeout). Closed connections never retry.
+	BarrierRetries int
+	// DisableBatch forces InstallRules back to one synchronous
+	// FlowMod+barrier round trip per rule — the pre-batching behaviour,
+	// kept for wire compatibility with old agents and as the benchmark
+	// baseline.
+	DisableBatch bool
 }
 
 // DialDevice completes the Hello handshake as controllerID and returns a
@@ -46,6 +59,7 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 		conn:           conn,
 		pending:        make(map[uint32]chan southbound.Msg),
 		RequestTimeout: 5 * time.Second,
+		BarrierRetries: 2,
 	}
 	// Learn the device ID via an initial feature request, synchronously,
 	// before the pump starts (no concurrent readers yet).
@@ -66,8 +80,12 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 			d.id = fr.Device
 			break
 		}
-		// Events racing the handshake are dropped; the controller will
-		// refresh state after attach.
+		// Events racing the handshake are buffered and replayed to the
+		// controller once one attaches (setController); dropping them here
+		// used to lose e.g. the first port flap after an agent restart.
+		if m.Type == southbound.TypePacketIn || m.Type == southbound.TypePortStatus {
+			d.backlog = append(d.backlog, m)
+		}
 	}
 	go d.pump()
 	return d, nil
@@ -76,7 +94,15 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 func (d *ConnDevice) setController(c *Controller) {
 	d.mu.Lock()
 	d.ctrl = c
+	var backlog []southbound.Msg
+	if c != nil {
+		backlog, d.backlog = d.backlog, nil
+	}
 	d.mu.Unlock()
+	// Replay handshake-raced events outside the lock, in arrival order.
+	for _, m := range backlog {
+		d.dispatchEvent(c, m)
+	}
 }
 
 func (d *ConnDevice) controller() *Controller {
@@ -122,31 +148,39 @@ func (d *ConnDevice) pump() {
 		if c == nil {
 			continue
 		}
-		switch m.Type {
-		case southbound.TypePacketIn:
-			pi, ok := m.Body.(southbound.PacketIn)
-			if !ok {
-				continue
-			}
-			if f, isFrame := pi.Control.(*discovery.Frame); isFrame {
-				c.HandleDiscoveryArrival(d.id, pi.InPort, f)
-				continue
-			}
-			if pi.Packet != nil {
-				c.HandlePacketIn(d.id, pi.InPort, pi.Packet)
-			}
-		case southbound.TypePortStatus:
-			ps, ok := m.Body.(southbound.PortStatus)
-			if !ok {
-				continue
-			}
-			c.HandlePortStatus(d.id, ps.Port, ps.Up)
+		d.dispatchEvent(c, m)
+	}
+}
+
+// dispatchEvent hands one asynchronous device event (Packet-In or
+// Port-Status) to the controller. Shared by the pump loop and the
+// handshake-backlog replay in setController.
+func (d *ConnDevice) dispatchEvent(c *Controller, m southbound.Msg) {
+	switch m.Type {
+	case southbound.TypePacketIn:
+		pi, ok := m.Body.(southbound.PacketIn)
+		if !ok {
+			return
 		}
+		if f, isFrame := pi.Control.(*discovery.Frame); isFrame {
+			c.HandleDiscoveryArrival(d.id, pi.InPort, f)
+			return
+		}
+		if pi.Packet != nil {
+			c.HandlePacketIn(d.id, pi.InPort, pi.Packet)
+		}
+	case southbound.TypePortStatus:
+		ps, ok := m.Body.(southbound.PortStatus)
+		if !ok {
+			return
+		}
+		c.HandlePortStatus(d.id, ps.Port, ps.Up)
 	}
 }
 
 // request performs one synchronous round-trip.
 func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
+	connSyncRoundTrips.Inc()
 	x := d.xid.Add(1)
 	m.Xid = x
 	ch := make(chan southbound.Msg, 1)
@@ -186,6 +220,10 @@ func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 // ID implements Device.
 func (d *ConnDevice) ID() dataplane.DeviceID { return d.id }
 
+// remoteSouthbound marks the device for concurrent batch fan-out: its
+// installs are wire round trips worth overlapping across devices.
+func (d *ConnDevice) remoteSouthbound() {}
+
 // Features implements Device.
 func (d *ConnDevice) Features() southbound.FeatureReply {
 	reply, err := d.request(southbound.Msg{Type: southbound.TypeFeatureRequest, Body: southbound.FeatureRequest{}})
@@ -202,6 +240,36 @@ func (d *ConnDevice) Features() southbound.FeatureReply {
 func (d *ConnDevice) InstallRule(r dataplane.Rule) error {
 	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
 		Body: southbound.FlowMod{Command: southbound.FlowAdd, Rule: r}})
+}
+
+// InstallRules implements BatchInstaller: the rules ride one pipelined
+// FlowModBatch fenced by a single barrier, so a whole per-device batch
+// costs one synchronous round trip instead of one per rule. The agent
+// applies the batch in order and stops at the first failure, so on error
+// the device may hold a prefix of the batch — callers (flushBatch) roll
+// the affected version back with RemoveRulesVersion.
+func (d *ConnDevice) InstallRules(rules []dataplane.Rule) error {
+	switch {
+	case len(rules) == 0:
+		return nil
+	case len(rules) == 1:
+		return d.InstallRule(rules[0])
+	case d.DisableBatch:
+		for _, r := range rules {
+			if err := d.InstallRule(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	mods := make([]southbound.FlowMod, len(rules))
+	for i, r := range rules {
+		mods[i] = southbound.FlowMod{Command: southbound.FlowAdd, Rule: r}
+	}
+	connBatches.Inc()
+	connFlowMods.Add(int64(len(rules)))
+	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowModBatch,
+		Body: southbound.FlowModBatch{Mods: mods}})
 }
 
 // RemoveRules implements Device.
@@ -222,11 +290,15 @@ func (d *ConnDevice) RemoveRulesVersion(owner string, version int) error {
 		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerVersion, Owner: owner, Version: version}})
 }
 
-// sendModAndBarrier sends a modification with a tracked transaction ID,
-// fences it with a barrier, and reports any error the device raised for
-// the modification. The agent processes a connection's messages in order,
-// so an error for the mod is delivered before the barrier reply.
+// sendModAndBarrier sends a modification (single FlowMod or a whole
+// FlowModBatch) with a tracked transaction ID, enqueues it without
+// waiting, and fences it with one retried barrier. The agent processes a
+// connection's messages in order, so an error for the mod is delivered
+// before the barrier reply.
 func (d *ConnDevice) sendModAndBarrier(m southbound.Msg) error {
+	if m.Type == southbound.TypeFlowMod {
+		connFlowMods.Inc()
+	}
 	x := d.xid.Add(1)
 	m.Xid = x
 	ch := make(chan southbound.Msg, 1)
@@ -245,7 +317,7 @@ func (d *ConnDevice) sendModAndBarrier(m southbound.Msg) error {
 	if err := d.conn.Send(m); err != nil {
 		return err
 	}
-	if err := d.Barrier(); err != nil {
+	if err := d.fence(); err != nil {
 		return err
 	}
 	select {
@@ -271,8 +343,27 @@ func (d *ConnDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) er
 
 // Barrier fences all previously sent modifications.
 func (d *ConnDevice) Barrier() error {
+	connBarriers.Inc()
 	_, err := d.request(southbound.Msg{Type: southbound.TypeBarrierRequest, Body: southbound.Barrier{}})
 	return err
+}
+
+// fence bounds a logical operation with a barrier, retrying up to
+// BarrierRetries times on timeout. A closed connection fails immediately:
+// retrying cannot succeed and would stall rollback of the other path
+// devices behind BarrierRetries×RequestTimeout of dead air.
+func (d *ConnDevice) fence() error {
+	var err error
+	for attempt := 0; attempt <= d.BarrierRetries; attempt++ {
+		if attempt > 0 {
+			connBarrierRetries.Inc()
+		}
+		err = d.Barrier()
+		if err == nil || errors.Is(err, southbound.ErrClosed) {
+			return err
+		}
+	}
+	return fmt.Errorf("core: device %s: fence failed after %d attempts: %w", d.id, d.BarrierRetries+1, err)
 }
 
 // SetRole requests a controller role on the device (§5.3.2's

@@ -1,10 +1,3 @@
-// Package core implements the SoftMoW controller (§3.3): a modular node
-// combining the network operating system (NOS — NIB, topology discovery,
-// routing, path implementation), the recursive abstraction application
-// (RecA — G-switch/G-BS/G-middlebox exposure, parent agent, rule
-// translation), and operator applications (UE bearer management, mobility,
-// region optimization). Controllers compose into a tree managed by the
-// management plane (Hierarchy).
 package core
 
 import (
@@ -51,6 +44,13 @@ type Controller struct {
 	// Mode selects recursive label swapping (default) or the stacking
 	// baseline for path translation (§4.3).
 	Mode pathimpl.Mode
+
+	// SerialSouthbound forces batch flushes and removal fan-outs to visit
+	// devices one at a time in deterministic (path, then sorted) order
+	// instead of concurrently. The fault-injection harness sets it so a
+	// seed replays to a byte-identical event log; it must be set before
+	// the controller starts programming rules.
+	SerialSouthbound bool
 
 	// NIB is this controller's network information base (§4).
 	NIB *nib.NIB

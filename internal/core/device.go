@@ -170,10 +170,29 @@ func (d *logicalDevice) Features() southbound.FeatureReply {
 	return d.child.RecAFeatures()
 }
 
+// remoteSouthbound marks the device for concurrent batch fan-out: each
+// install is a whole recursive translation in the child, so sibling
+// G-switches on a path are worth programming in parallel.
+func (d *logicalDevice) remoteSouthbound() {}
+
 // InstallRule implements Device: the child translates the virtual rule
 // onto its own (physical or logical) topology (§4.3).
 func (d *logicalDevice) InstallRule(r dataplane.Rule) error {
 	return d.child.TranslateRule(r)
+}
+
+// InstallRules implements BatchInstaller: virtual rules translate in
+// order; the first failure aborts the rest. The child's own flush rolls
+// back the failing translation's devices, and the parent's batch
+// rollback (RemoveRulesVersion → RemoveTranslatedVersion) scrubs
+// whatever earlier rules of the batch reached this child.
+func (d *logicalDevice) InstallRules(rules []dataplane.Rule) error {
+	for _, r := range rules {
+		if err := d.child.TranslateRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RemoveRules implements Device: recursive removal by owner tag.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/pathimpl"
@@ -82,6 +83,7 @@ func (c *Controller) SetupPath(match dataplane.Match, path *routing.Path) (PathI
 // metrics). Installation fails, with full rollback, when any link cannot
 // admit the demand.
 func (c *Controller) SetupPathWithDemand(match dataplane.Match, path *routing.Path, demandMbps float64) (PathID, error) {
+	start := time.Now()
 	c.mu.Lock()
 	c.nextPath++
 	id := c.nextPath
@@ -91,9 +93,8 @@ func (c *Controller) SetupPathWithDemand(match dataplane.Match, path *routing.Pa
 
 	ctx := ruleCtx{kind: kindClassify, match: match, demand: demandMbps}
 	if err := c.installPathRules(ctx, path, owner, version); err != nil {
-		for _, d := range c.Devices() {
-			_ = d.RemoveRules(owner)
-		}
+		// flushBatch already scrubbed this (only) version from every
+		// device the batch touched; nothing else carries the fresh owner.
 		return 0, err
 	}
 	rec := &PathRecord{
@@ -104,6 +105,7 @@ func (c *Controller) SetupPathWithDemand(match dataplane.Match, path *routing.Pa
 	c.mu.Lock()
 	c.paths[id] = rec
 	c.mu.Unlock()
+	setupLatency.Observe(time.Since(start))
 	return id, nil
 }
 
@@ -143,11 +145,15 @@ func (c *Controller) TeardownPath(id PathID) error {
 	if !ok {
 		return fmt.Errorf("core: unknown path %d", id)
 	}
+	start := time.Now()
+	devs := make([]Device, 0, len(rec.Devices))
 	for _, devID := range rec.Devices {
 		if d := c.Device(devID); d != nil {
-			_ = d.RemoveRules(rec.Owner)
+			devs = append(devs, d)
 		}
 	}
+	_ = c.runPerDevice(devs, func(d Device) error { return d.RemoveRules(rec.Owner) })
+	teardownLatency.Observe(time.Since(start))
 	return nil
 }
 
@@ -172,30 +178,11 @@ func (c *Controller) PrepareReroute(id PathID, newPath *routing.Path) error {
 
 	ctx := ruleCtx{kind: kindClassify, match: match, demand: demand}
 	if err := c.installPathRules(ctx, newPath, owner, version); err != nil {
-		// §6: on inconsistency, recompute — drop everything under the
-		// owner and reinstall the previous route under a fresh version.
-		for _, d := range c.Devices() {
-			_ = d.RemoveRules(owner)
-		}
-		c.mu.Lock()
-		old := rec.lastPath
-		c.mu.Unlock()
-		if old != nil {
-			v2 := c.versions.Next()
-			if rerr := c.installPathRules(ruleCtx{kind: kindClassify, match: match, demand: demand}, old, owner, v2); rerr == nil {
-				c.mu.Lock()
-				rec.Version = v2
-				c.mu.Unlock()
-			} else {
-				c.mu.Lock()
-				rec.Active = false
-				c.mu.Unlock()
-			}
-		} else {
-			c.mu.Lock()
-			rec.Active = false
-			c.mu.Unlock()
-		}
+		// §6: rollback is version-exact (flushBatch scrubbed only the new
+		// version), so the old version's rules were never disturbed —
+		// make-before-break means they kept carrying traffic throughout.
+		// The record simply stays at its previous version; no
+		// remove-everything-and-reinstall round is needed.
 		return err
 	}
 	c.mu.Lock()
@@ -216,21 +203,29 @@ func (c *Controller) CommitReroute(id PathID) error {
 	if !ok {
 		return fmt.Errorf("core: unknown path %d", id)
 	}
+	devs := make([]Device, 0, len(rec.Devices))
 	for _, devID := range rec.Devices {
 		if d := c.Device(devID); d != nil {
-			_ = d.RemoveRulesBefore(rec.Owner, rec.Version)
+			devs = append(devs, d)
 		}
 	}
-	return nil
+	return c.runPerDevice(devs, func(d Device) error {
+		return d.RemoveRulesBefore(rec.Owner, rec.Version)
+	})
 }
 
 // ReroutePath performs a full consistent update: make-before-break with
 // versioned rules.
 func (c *Controller) ReroutePath(id PathID, newPath *routing.Path) error {
+	start := time.Now()
 	if err := c.PrepareReroute(id, newPath); err != nil {
 		return err
 	}
-	return c.CommitReroute(id)
+	if err := c.CommitReroute(id); err != nil {
+		return err
+	}
+	rerouteLatency.Observe(time.Since(start))
+	return nil
 }
 
 // TranslateRule is the RecA agent's entry point for virtual rules pushed
@@ -270,24 +265,25 @@ func (c *Controller) TranslateRule(r dataplane.Rule) error {
 		if n := len(dec.pushes); n > 0 {
 			ctx.labelOut = dec.pushes[n-1]
 		}
+		// The whole fan-out accumulates into one batch: every source's
+		// route must exist before a single rule is programmed, shared
+		// devices between sources collect all their rules behind one
+		// barrier, and a flush failure rolls the entire fan-out back
+		// version-exactly (older versions of the same owner may still
+		// carry traffic mid-update, §6).
+		b := newRuleBatch()
 		for _, src := range srcs {
 			p, err := g.ShortestPath(src, dst, routing.MinHops, routing.Constraints{})
 			if err != nil {
-				// Roll back earlier sources' rules so a mid-fan-out failure
-				// leaves nothing behind, mirroring SetupPathWithDemand. The
-				// removal is version-exact: older versions of the same owner
-				// may still carry traffic mid-update (§6).
-				_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
 				return fmt.Errorf("core: %s: no internal path %v->%v: %w", c.ID, src, dst, err)
 			}
 			ctx.match = r.Match
 			ctx.match.InPort = src.Port
-			if err := c.installPathRules(ctx, p, r.Owner, r.Version); err != nil {
-				_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
+			if err := c.appendPathRules(b, ctx, p, r.Owner, r.Version); err != nil {
 				return err
 			}
 		}
-		return nil
+		return c.flushBatch(b, r.Owner, r.Version)
 	}
 
 	if !r.Match.HasLabel {
@@ -316,30 +312,22 @@ func (c *Controller) TranslateRule(r dataplane.Rule) error {
 		ctx.kind = kindTransit
 		ctx.labelOut = r.Match.Label
 	}
-	if err := c.installPathRules(ctx, p, r.Owner, r.Version); err != nil {
-		// installPathRules may have installed a prefix of the path's rules
-		// before failing; remove exactly this version's residue.
-		_ = c.RemoveTranslatedVersion(r.Owner, r.Version)
-		return err
-	}
-	return nil
+	// A flush failure scrubs exactly this version from the path devices
+	// (flushBatch rollback), which is all this call can have installed.
+	return c.installPathRules(ctx, p, r.Owner, r.Version)
 }
 
 // RemoveTranslated removes, recursively, all rules installed under an
 // owner tag.
 func (c *Controller) RemoveTranslated(owner string) error {
-	for _, d := range c.Devices() {
-		_ = d.RemoveRules(owner)
-	}
+	_ = c.runPerDevice(c.Devices(), func(d Device) error { return d.RemoveRules(owner) })
 	return nil
 }
 
 // RemoveTranslatedBefore removes, recursively, an owner's rules older than
 // version (§6 consistent updates).
 func (c *Controller) RemoveTranslatedBefore(owner string, version int) error {
-	for _, d := range c.Devices() {
-		_ = d.RemoveRulesBefore(owner, version)
-	}
+	_ = c.runPerDevice(c.Devices(), func(d Device) error { return d.RemoveRulesBefore(owner, version) })
 	return nil
 }
 
@@ -347,9 +335,7 @@ func (c *Controller) RemoveTranslatedBefore(owner string, version int) error {
 // one version — rollback of a partial translation that must leave older
 // live versions untouched.
 func (c *Controller) RemoveTranslatedVersion(owner string, version int) error {
-	for _, d := range c.Devices() {
-		_ = d.RemoveRulesVersion(owner, version)
-	}
+	_ = c.runPerDevice(c.Devices(), func(d Device) error { return d.RemoveRulesVersion(owner, version) })
 	return nil
 }
 
@@ -426,24 +412,30 @@ func decodeActions(actions []dataplane.Action) decoded {
 }
 
 // installPathRules installs one path in this controller's topology under a
-// label context. Rules landing on G-switch devices recurse into children.
+// label context: the path's rules are accumulated into per-device batches
+// and flushed concurrently across the path devices, one barrier per device
+// (flushBatch). Rules landing on G-switch devices recurse into children.
 func (c *Controller) installPathRules(ctx ruleCtx, path *routing.Path, owner string, version int) error {
+	b := newRuleBatch()
+	if err := c.appendPathRules(b, ctx, path, owner, version); err != nil {
+		return err
+	}
+	return c.flushBatch(b, owner, version)
+}
+
+// appendPathRules constructs one path's rules under a label context and
+// accumulates them into b; nothing is programmed until the batch is
+// flushed with the same owner and version (which flushBatch stamps onto
+// every rule — version is needed here only for classify-rule priorities).
+func (c *Controller) appendPathRules(b *ruleBatch, ctx ruleCtx, path *routing.Path, owner string, version int) error {
 	segs := path.Segments()
 	if len(segs) == 0 {
 		return ErrEmptyPath
 	}
 	install := func(devID dataplane.DeviceID, rule dataplane.Rule) error {
-		d := c.Device(devID)
-		if d == nil {
-			return fmt.Errorf("core: %s: path device %s not attached", c.ID, devID)
-		}
-		rule.Owner = owner
-		rule.Version = version
 		rule.Demand = ctx.demand
-		c.mu.Lock()
-		c.stats.RulesInstalled++
-		c.mu.Unlock()
-		return d.InstallRule(rule)
+		b.add(devID, rule)
+		return nil
 	}
 
 	stack := c.Mode == pathimpl.ModeStack

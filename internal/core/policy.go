@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dataplane"
 	"repro/internal/routing"
@@ -172,6 +173,7 @@ func (c *Controller) SetupPolicyPath(match dataplane.Match, pr *PolicyRoute) (Pa
 	if len(pr.Legs) == 0 {
 		return 0, ErrEmptyPath
 	}
+	start := time.Now()
 	c.mu.Lock()
 	c.nextPath++
 	id := c.nextPath
@@ -179,19 +181,16 @@ func (c *Controller) SetupPolicyPath(match dataplane.Match, pr *PolicyRoute) (Pa
 	owner := fmt.Sprintf("%s/p%d", c.ID, id)
 	c.mu.Unlock()
 
-	rollback := func() {
-		for _, d := range c.Devices() {
-			_ = d.RemoveRules(owner)
-		}
-	}
-
+	// All legs accumulate into one batch: a waypoint switch shared by two
+	// consecutive legs collects both rules behind a single barrier, and a
+	// flush failure rolls the whole chain back before the record exists.
 	label := c.alloc.Next()
+	b := newRuleBatch()
 	var devices []dataplane.DeviceID
 	var total routing.Cost
 	for i, leg := range pr.Legs {
 		segs := leg.Segments()
 		if len(segs) == 0 {
-			rollback()
 			return 0, ErrEmptyPath
 		}
 		total = addCost(total, leg.Cost)
@@ -200,10 +199,10 @@ func (c *Controller) SetupPolicyPath(match dataplane.Match, pr *PolicyRoute) (Pa
 		}
 		first := i == 0
 		last := i == len(pr.Legs)-1
-		if err := c.installPolicyLeg(match, label, leg, first, last, owner, version); err != nil {
-			rollback()
-			return 0, err
-		}
+		c.appendPolicyLeg(b, match, label, leg, first, last, version)
+	}
+	if err := c.flushBatch(b, owner, version); err != nil {
+		return 0, err
 	}
 	rec := &PathRecord{
 		ID: id, Owner: owner, Match: match, Cost: total,
@@ -212,6 +211,7 @@ func (c *Controller) SetupPolicyPath(match dataplane.Match, pr *PolicyRoute) (Pa
 	c.mu.Lock()
 	c.paths[id] = rec
 	c.mu.Unlock()
+	setupLatency.Observe(time.Since(start))
 	return id, nil
 }
 
@@ -227,23 +227,11 @@ func dedupeDevices(in []dataplane.DeviceID) []dataplane.DeviceID {
 	return out
 }
 
-// installPolicyLeg installs one leg's rules. The first leg classifies the
-// flow and pushes the label; middle legs begin at a middlebox return port;
-// the final leg ends with pop + egress.
-func (c *Controller) installPolicyLeg(match dataplane.Match, label dataplane.Label, leg *routing.Path, first, last bool, owner string, version int) error {
+// appendPolicyLeg accumulates one leg's rules into b. The first leg
+// classifies the flow and pushes the label; middle legs begin at a
+// middlebox return port; the final leg ends with pop + egress.
+func (c *Controller) appendPolicyLeg(b *ruleBatch, match dataplane.Match, label dataplane.Label, leg *routing.Path, first, last bool, version int) {
 	segs := leg.Segments()
-	install := func(devID dataplane.DeviceID, rule dataplane.Rule) error {
-		d := c.Device(devID)
-		if d == nil {
-			return fmt.Errorf("core: %s: path device %s not attached", c.ID, devID)
-		}
-		rule.Owner = owner
-		rule.Version = version
-		c.mu.Lock()
-		c.stats.RulesInstalled++
-		c.mu.Unlock()
-		return d.InstallRule(rule)
-	}
 	for i, seg := range segs {
 		var rule dataplane.Rule
 		switch {
@@ -266,9 +254,6 @@ func (c *Controller) installPolicyLeg(match dataplane.Match, label dataplane.Lab
 				Match:   dataplane.Match{InPort: seg.InPort, HasLabel: true, Label: label, QoS: -1},
 				Actions: []dataplane.Action{dataplane.Output(seg.OutPort)}}
 		}
-		if err := install(seg.Dev, rule); err != nil {
-			return err
-		}
+		b.add(seg.Dev, rule)
 	}
-	return nil
 }

@@ -51,9 +51,9 @@ func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []Path
 			c.mu.Unlock()
 			if ok {
 				// drop the dead rules so traffic punts instead of blackholing
-				for _, d := range c.Devices() {
-					_ = d.RemoveRules(owner)
-				}
+				_ = c.runPerDevice(c.Devices(), func(d Device) error {
+					return d.RemoveRules(owner)
+				})
 			}
 			failed = append(failed, j.id)
 			continue

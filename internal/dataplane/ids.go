@@ -28,6 +28,7 @@ const PortAny PortID = -1
 type DeviceKind int
 
 const (
+	// KindUnknown is the zero value for devices not yet classified.
 	KindUnknown DeviceKind = iota
 	// KindSwitch is a physical programmable core switch.
 	KindSwitch
@@ -84,6 +85,9 @@ const NoLabel Label = 0
 // MiddleboxType enumerates the middlebox functions mentioned in §2.1.
 type MiddleboxType int
 
+// The middlebox functions named in §2.1's service-policy examples:
+// firewalls, intrusion detection, DPI, video transcoders, noise
+// cancellation, charging, and rate limiting.
 const (
 	MBFirewall MiddleboxType = iota
 	MBIDS

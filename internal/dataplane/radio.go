@@ -40,7 +40,9 @@ const (
 	// TopoRing is the evaluation default (§7.1: "at most 6 inferred base
 	// stations organized in a ring topology").
 	TopoRing GroupTopology = iota
+	// TopoMesh connects every base-station pair in the group directly.
 	TopoMesh
+	// TopoHub stars the group around its first base station.
 	TopoHub
 )
 

@@ -1,0 +1,12 @@
+// Package metrics provides the reproduction's measurement plumbing:
+// small statistical helpers for the evaluation harness (empirical CDFs,
+// percentiles, summary statistics, fixed-width table rendering) plus a
+// process-global runtime metrics registry (NewCounter, NewDurationHist)
+// used by the controller hot paths — graph-cache hits, southbound
+// batches/barriers/round trips, and per-operation setup latency
+// histograms. RuntimeCounters snapshots the counters and WriteRuntime
+// renders the whole registry; cmd/chaos -metrics prints it after a run.
+//
+// The package is deliberately dependency-free and allocation-conscious so
+// it can be used inside benchmark loops.
+package metrics

@@ -1,9 +1,3 @@
-// Package metrics provides small statistical helpers used throughout the
-// SoftMoW evaluation harness: empirical CDFs, percentiles, summary
-// statistics, and fixed-width table rendering for experiment output.
-//
-// The package is deliberately dependency-free and allocation-conscious so it
-// can be used inside benchmark loops.
 package metrics
 
 import (

@@ -142,24 +142,32 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 				Body: Error{Code: ErrCodeBadRequest, Message: "malformed flow-mod"}})
 			return
 		}
-		switch fm.Command {
-		case FlowAdd:
-			if err := a.Net.InstallRule(a.Sw.ID, fm.Rule); err != nil {
+		if err := a.applyFlowMod(fm); err != nil {
+			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				Body: Error{Code: ErrCodeBadRequest, Message: err.Error()}})
+		}
+
+	case TypeFlowModBatch:
+		if peer.role == RoleSlave || peer.role == RoleNone {
+			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				Body: Error{Code: ErrCodePermission, Message: "slave may not modify flows"}})
+			return
+		}
+		fb, ok := m.Body.(FlowModBatch)
+		if !ok {
+			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				Body: Error{Code: ErrCodeBadRequest, Message: "malformed flow-mod batch"}})
+			return
+		}
+		// Mods apply strictly in order; the first failure aborts the rest,
+		// leaving the already-applied prefix in place. The controller's
+		// fence observes the error and rolls the partial version back.
+		for _, fm := range fb.Mods {
+			if err := a.applyFlowMod(fm); err != nil {
 				_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 					Body: Error{Code: ErrCodeBadRequest, Message: err.Error()}})
+				return
 			}
-		case FlowDeleteOwner:
-			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Owner == fm.Owner })
-		case FlowDeleteVersion:
-			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Version == fm.Version })
-		case FlowDeleteOwnerBefore:
-			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
-				return r.Owner == fm.Owner && r.Version < fm.Version
-			})
-		case FlowDeleteOwnerVersion:
-			a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
-				return r.Owner == fm.Owner && r.Version == fm.Version
-			})
 		}
 
 	case TypePacketOut:
@@ -181,6 +189,29 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 	case TypeBarrierRequest:
 		_ = peer.conn.Send(Msg{Type: TypeBarrierReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: Barrier{}})
 	}
+}
+
+// applyFlowMod executes one FlowMod against the switch. Only FlowAdd can
+// fail (admission control in the data plane); the delete commands are
+// idempotent filters.
+func (a *SwitchAgent) applyFlowMod(fm FlowMod) error {
+	switch fm.Command {
+	case FlowAdd:
+		return a.Net.InstallRule(a.Sw.ID, fm.Rule)
+	case FlowDeleteOwner:
+		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Owner == fm.Owner })
+	case FlowDeleteVersion:
+		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Version == fm.Version })
+	case FlowDeleteOwnerBefore:
+		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
+			return r.Owner == fm.Owner && r.Version < fm.Version
+		})
+	case FlowDeleteOwnerVersion:
+		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
+			return r.Owner == fm.Owner && r.Version == fm.Version
+		})
+	}
+	return nil
 }
 
 func (a *SwitchAgent) features() FeatureReply {

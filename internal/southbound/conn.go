@@ -161,6 +161,7 @@ func RegisterGobTypes(extra ...interface{}) {
 	gob.Register(PacketIn{})
 	gob.Register(PacketOut{})
 	gob.Register(FlowMod{})
+	gob.Register(FlowModBatch{})
 	gob.Register(PortStatus{})
 	gob.Register(RoleRequest{})
 	gob.Register(RoleReply{})

@@ -1,13 +1,3 @@
-// Package southbound defines the OpenFlow-like control protocol spoken
-// between SoftMoW controllers and data-plane devices — physical switches at
-// the leaf level, and gigantic (logical) devices exposed by child
-// controllers at higher levels (§3.3: "NOS communicates with switches
-// (logical or physical) using a southbound API, e.g. OpenFlow API extended
-// to support our virtual fabric feature").
-//
-// Two transports are provided: an in-process channel pair for simulations,
-// and a gob-encoded length-delimited TCP codec for distributed deployments.
-// Both satisfy the Conn interface.
 package southbound
 
 import (
@@ -24,10 +14,12 @@ const (
 	TypeHello MsgType = iota
 	// TypeEchoRequest / TypeEchoReply implement liveness probing.
 	TypeEchoRequest
+	// TypeEchoReply answers an echo request with the same Xid.
 	TypeEchoReply
 	// TypeFeatureRequest asks a device to describe itself; G-switches
 	// answer with their virtual fabric (the SoftMoW OpenFlow extension).
 	TypeFeatureRequest
+	// TypeFeatureReply carries the FeatureReply body back to the controller.
 	TypeFeatureReply
 	// TypePacketIn punts a packet (or an encapsulated control payload such
 	// as a link-discovery message) from device to controller.
@@ -41,12 +33,18 @@ const (
 	// TypeRoleRequest / TypeRoleReply manage controller roles during
 	// region reconfiguration (§5.3.2, OFPCR_ROLE_EQUAL et al.).
 	TypeRoleRequest
+	// TypeRoleReply acknowledges the role a device granted.
 	TypeRoleReply
 	// TypeBarrierRequest / TypeBarrierReply fence rule installation.
 	TypeBarrierRequest
+	// TypeBarrierReply signals every earlier message has been processed.
 	TypeBarrierReply
 	// TypeError reports a device-side failure for a prior request.
 	TypeError
+	// TypeFlowModBatch carries several FlowMods applied in order as one
+	// message, cutting per-rule round trips; it is appended to the enum so
+	// single-FlowMod peers stay wire compatible.
+	TypeFlowModBatch
 )
 
 // String implements fmt.Stringer.
@@ -58,7 +56,7 @@ func (t MsgType) String() string {
 		TypeFlowMod: "flow-mod", TypePortStatus: "port-status",
 		TypeRoleRequest: "role-req", TypeRoleReply: "role-rep",
 		TypeBarrierRequest: "barrier-req", TypeBarrierReply: "barrier-rep",
-		TypeError: "error",
+		TypeError: "error", TypeFlowModBatch: "flow-mod-batch",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -194,6 +192,16 @@ type FlowMod struct {
 	// Owner / Version select rules for the delete commands.
 	Owner   string
 	Version int
+}
+
+// FlowModBatch is the Body of TypeFlowModBatch. The device applies Mods
+// strictly in order and stops at the first failure, replying with a single
+// TypeError carrying the batch Xid; mods after the failing one are not
+// applied. A successful batch is acknowledged only implicitly — the sender
+// fences it with one TypeBarrierRequest per logical operation instead of one
+// per rule, which is where the round-trip reduction comes from.
+type FlowModBatch struct {
+	Mods []FlowMod
 }
 
 // PortStatus is the Body of TypePortStatus.
