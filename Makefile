@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench docs-check
+.PHONY: build test vet race chaos check bench docs-check lint
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,12 @@ chaos:
 docs-check:
 	$(GO) run ./cmd/docscheck internal
 
-check: vet race docs-check
+# Enforce the lock, determinism, layering, and error-handling invariants
+# over ./internal/... and ./cmd/... (see DESIGN.md "Enforced invariants").
+lint:
+	$(GO) run ./cmd/softmowlint
+
+check: vet race docs-check lint
 
 # Run the routing/abstraction/controller hot-path benchmarks and record the
 # results as JSON lines in BENCH_routing.json (the committed baseline for

@@ -1,0 +1,196 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixtures under testdata/src are invisible to go build but resolvable by
+// the source loader; each declares its expected findings inline with
+// `// want <check>` trailing comments.
+
+var (
+	loaderOnce sync.Once
+	testLoader *Loader
+	testModule string
+	loaderErr  error
+)
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	loaderOnce.Do(func() {
+		var repoRoot string
+		repoRoot, testModule, loaderErr = findRepoRoot(".")
+		if loaderErr == nil {
+			testLoader = NewLoader(repoRoot, testModule)
+		}
+	})
+	if loaderErr != nil {
+		t.Fatalf("findRepoRoot: %v", loaderErr)
+	}
+	p, err := testLoader.Load(testModule + "/cmd/softmowlint/testdata/src/" + name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return p
+}
+
+var wantRE = regexp.MustCompile(`// want (\w+)`)
+
+// wantSet parses the fixture's `// want <check>` comments into a multiset
+// of "file:line:check" keys.
+func wantSet(t *testing.T, p *Package) map[string]int {
+	t.Helper()
+	want := make(map[string]int)
+	for _, f := range p.Files {
+		filename := p.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(filename)
+		if err != nil {
+			t.Fatalf("read %s: %v", filename, err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				want[key(pathBase(filename), i+1, m[1])]++
+			}
+		}
+	}
+	return want
+}
+
+func key(file string, line int, check string) string {
+	return file + ":" + itoa(line) + ":" + check
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// checkFixture asserts the findings match the fixture's want comments
+// exactly (same file, line, and check; no extras, no misses).
+func checkFixture(t *testing.T, p *Package, findings []Finding) {
+	t.Helper()
+	want := wantSet(t, p)
+	got := make(map[string]int)
+	for _, f := range findings {
+		got[key(pathBase(f.Pos.Filename), f.Pos.Line, f.Check)]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("want %d finding(s) at %s, got %d", n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("unexpected finding(s) at %s (×%d)", k, n)
+		}
+	}
+}
+
+func TestLockguard(t *testing.T) {
+	bad := fixture(t, "lockbad")
+	checkFixture(t, bad, filterSuppressed(bad, lockguard(bad)))
+
+	good := fixture(t, "lockgood")
+	checkFixture(t, good, filterSuppressed(good, lockguard(good)))
+}
+
+func TestDeterminism(t *testing.T) {
+	bad := fixture(t, "detbad")
+	checkFixture(t, bad, filterSuppressed(bad, determinism(bad)))
+
+	good := fixture(t, "detgood")
+	checkFixture(t, good, filterSuppressed(good, determinism(good)))
+}
+
+func TestLayering(t *testing.T) {
+	cfg := layeringConfig{
+		AllowedFiles: map[string]bool{"allowed.go": true},
+		FromPath:     "repro/internal/southbound",
+		Forbidden: map[string]bool{
+			"TypeFlowMod":        true,
+			"TypeFlowModBatch":   true,
+			"TypeBarrierRequest": true,
+			"TypeBarrierReply":   true,
+		},
+	}
+
+	bad := fixture(t, "laybad")
+	cfg.PkgPath = bad.Path
+	checkFixture(t, bad, filterSuppressed(bad, layering(bad, cfg)))
+
+	good := fixture(t, "laygood")
+	cfg.PkgPath = good.Path
+	checkFixture(t, good, filterSuppressed(good, layering(good, cfg)))
+
+	// The production config must not fire on fixture packages at all.
+	if fs := layering(bad, coreLayering); len(fs) != 0 {
+		t.Errorf("production layering config fired on a fixture package: %v", fs)
+	}
+}
+
+func TestErrdiscard(t *testing.T) {
+	bad := fixture(t, "errbad")
+	checkFixture(t, bad, filterSuppressed(bad, errdiscard(bad, "repro/")))
+
+	good := fixture(t, "errgood")
+	checkFixture(t, good, filterSuppressed(good, errdiscard(good, "repro/")))
+}
+
+// TestSuppressionDiagnostics checks that malformed annotations are findings
+// themselves and register no suppression: the unknown-check and
+// missing-reason sites each yield one "suppression" finding, and the error
+// discards they fail to cover are still reported.
+func TestSuppressionDiagnostics(t *testing.T) {
+	p := fixture(t, "supbad")
+	findings := filterSuppressed(p, errdiscard(p, "repro/"))
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[f.Check]++
+	}
+	if counts["suppression"] != 2 {
+		t.Errorf("want 2 suppression findings, got %d: %v", counts["suppression"], findings)
+	}
+	if counts["errdiscard"] != 2 {
+		t.Errorf("want 2 uncovered errdiscard findings, got %d: %v", counts["errdiscard"], findings)
+	}
+}
+
+// TestRepoClean runs the production configuration over every production
+// package: the merged tree must stay lint-clean. Skipped under -short (it
+// type-checks the whole module).
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	repoRoot, module, err := findRepoRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := listPackages(repoRoot, module, []string{"internal", "cmd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := NewLoader(repoRoot, module)
+	for _, ip := range pkgs {
+		p, err := loader.Load(ip)
+		if err != nil {
+			t.Fatalf("load %s: %v", ip, err)
+		}
+		for _, f := range runConfigured(p) {
+			t.Errorf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, fully type-checked package of the repository.
+type Package struct {
+	// Path is the import path (e.g. repro/internal/core).
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files holds the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the type-checker's per-expression results.
+	Info *types.Info
+	// Fset is the shared file set (positions).
+	Fset *token.FileSet
+}
+
+// Loader resolves and type-checks repository packages from source. Imports
+// of module packages (repro/...) are loaded recursively from the repo tree;
+// everything else is delegated to the stdlib source importer so full type
+// information is available without x/tools. Loaded packages are memoized.
+type Loader struct {
+	// RepoRoot is the directory containing go.mod.
+	RepoRoot string
+	// Module is the module path from go.mod (repro).
+	Module string
+	// Fset is shared across every parsed file, module and stdlib alike.
+	Fset *token.FileSet
+
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	typed   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at repoRoot for the given module path.
+func NewLoader(repoRoot, module string) *Loader {
+	// The source importer type-checks stdlib dependencies from source; with
+	// cgo disabled the pure-Go fallbacks of net et al. are selected, which
+	// is all the type information the analyzers need.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	l := &Loader{
+		RepoRoot: repoRoot,
+		Module:   module,
+		Fset:     fset,
+		pkgs:     make(map[string]*Package),
+		typed:    make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l
+}
+
+// Import implements types.Importer over both module and stdlib packages.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if tp, ok := l.typed[path]; ok {
+		return tp, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	tp, err := l.std.ImportFrom(path, l.RepoRoot, 0)
+	if err != nil {
+		return nil, err
+	}
+	l.typed[path] = tp
+	return tp, nil
+}
+
+// Load parses and type-checks one module package (and, recursively, its
+// module imports).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(importPath, l.Module), "/")
+	dir := filepath.Join(l.RepoRoot, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", importPath, err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no Go files in %s", importPath, dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l, FakeImportC: true}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Files: files, Types: tpkg, Info: info, Fset: l.Fset}
+	l.pkgs[importPath] = p
+	l.typed[importPath] = tpkg
+	return p, nil
+}
+
+// findRepoRoot walks upward from dir to the directory containing go.mod and
+// returns it along with the declared module path.
+func findRepoRoot(dir string) (root, module string, err error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod: no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,153 @@
+// Command softmowlint enforces the repository's cross-cutting invariants as
+// compile-gated static analysis, using only the standard library (go/parser,
+// go/ast, go/types with a recursive source loader — the stdlib-only
+// precedent set by cmd/docscheck). Four analyzers run over ./internal/...
+// and ./cmd/...:
+//
+//   - lockguard: struct fields annotated `// guarded by <mutexField>` may
+//     only be accessed in functions that lock that mutex on the same base
+//     expression, or in helpers named *Locked.
+//   - determinism: seed-replay-critical packages must not read the wall
+//     clock, use the global math/rand generator, or let map iteration order
+//     reach replayable behavior (append without a later sort, channel or
+//     southbound sends inside a map range).
+//   - layering: outside conndevice.go/batch.go, internal/core must not
+//     construct raw TypeFlowMod/TypeFlowModBatch/TypeBarrier* messages —
+//     rule programming stays behind the batched, rollback-safe pipeline.
+//   - errdiscard: no `_ =` or bare-statement discard of an error under
+//     internal/ without an annotation stating why.
+//
+// Findings are suppressed in source with `//softmow:allow <check> <reason>`
+// on the offending line or the line above; the reason is mandatory.
+//
+// Usage:
+//
+//	go run ./cmd/softmowlint [packages...]
+//
+// With no arguments every package under internal/ and cmd/ is checked
+// (testdata trees excluded). Exit status is 1 when any unsuppressed finding
+// is reported and 2 when a package fails to load or type-check.
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// determinismPkgs lists the seed-replay-critical packages: everything the
+// chaos harness's byte-identical seed replay flows through (core rule
+// programming, the harness itself, the wire protocol, the virtual clock)
+// plus the NIB, whose accessor and notification order reaches the replay
+// log.
+var determinismPkgs = map[string]bool{
+	"repro/internal/core":       true,
+	"repro/internal/chaos":      true,
+	"repro/internal/southbound": true,
+	"repro/internal/simnet":     true,
+	"repro/internal/nib":        true,
+}
+
+// runConfigured executes every analyzer that applies to the package under
+// the production configuration and filters suppressed findings.
+func runConfigured(p *Package) []Finding {
+	var fs []Finding
+	fs = append(fs, lockguard(p)...)
+	if determinismPkgs[p.Path] {
+		fs = append(fs, determinism(p)...)
+	}
+	fs = append(fs, layering(p, coreLayering)...)
+	if strings.HasPrefix(p.Path, "repro/internal/") {
+		fs = append(fs, errdiscard(p, "repro/")...)
+	}
+	return filterSuppressed(p, fs)
+}
+
+// listPackages enumerates package import paths under the given roots
+// (directories relative to repoRoot), skipping testdata trees and
+// directories without non-test Go files.
+func listPackages(repoRoot, module string, roots []string) ([]string, error) {
+	var out []string
+	for _, root := range roots {
+		base := filepath.Join(repoRoot, root)
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			entries, err := os.ReadDir(path)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				n := e.Name()
+				if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+					rel, err := filepath.Rel(repoRoot, path)
+					if err != nil {
+						return err
+					}
+					out = append(out, module+"/"+filepath.ToSlash(rel))
+					break
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func main() {
+	repoRoot, module, err := findRepoRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "softmowlint:", err)
+		os.Exit(2)
+	}
+	pkgs := os.Args[1:]
+	if len(pkgs) == 0 {
+		pkgs, err = listPackages(repoRoot, module, []string{"internal", "cmd"})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "softmowlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	loader := NewLoader(repoRoot, module)
+	loadFailed := false
+	var findings []Finding
+	for _, ip := range pkgs {
+		p, err := loader.Load(ip)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "softmowlint:", err)
+			loadFailed = true
+			continue
+		}
+		findings = append(findings, runConfigured(p)...)
+	}
+	sortFindings(findings)
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(repoRoot, rel); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(findings) > 0:
+		fmt.Fprintf(os.Stderr, "softmowlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Package detbad violates the determinism contract for seed-replay-critical
+// packages: wall-clock reads, the global math/rand generator, and map
+// iteration whose order leaks into replayable behavior.
+package detbad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+func roll() int {
+	return rand.Intn(6) // want determinism
+}
+
+func drain(m map[string]int, ch chan int) {
+	for _, v := range m { // want determinism
+		ch <- v
+	}
+}
+
+func collectUnsorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want determinism
+		out = append(out, v)
+	}
+	return out
+}
+
+type sender struct{}
+
+func (sender) Send(int) error { return nil }
+
+func emit(m map[string]int, s sender) {
+	for _, v := range m { // want determinism
+		if err := s.Send(v); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package detgood satisfies the determinism contract: instance RNGs,
+// collect-then-sort map traversal, and annotated metric timing.
+package detgood
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seeded builds an instance generator — New/NewSource are the replayable
+// way to use math/rand.
+func seeded() *rand.Rand {
+	return rand.New(rand.NewSource(1))
+}
+
+func stampAllowed() time.Time {
+	return time.Now() //softmow:allow determinism metric timing only, never control decisions
+}
+
+func collectSorted(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// readOnly ranges a map without leaking order anywhere.
+func readOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

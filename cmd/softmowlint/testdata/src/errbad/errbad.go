@@ -1,0 +1,21 @@
+// Package errbad violates the errdiscard contract: error results are
+// dropped with _ or as bare statements without an annotation.
+package errbad
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func twoVals() (int, error) { return 0, errors.New("boom") }
+
+func drop() {
+	_ = mayFail() // want errdiscard
+}
+
+func bare() {
+	mayFail() // want errdiscard
+}
+
+func dropTuple() {
+	_, _ = twoVals() // want errdiscard
+}

@@ -1,0 +1,30 @@
+// Package errgood satisfies the errdiscard contract: errors are handled,
+// or their discard is annotated; stdlib bare calls are exempt by design.
+package errgood
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func handled() error {
+	if err := mayFail(); err != nil {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	return nil
+}
+
+func allowedDrop() {
+	_ = mayFail() //softmow:allow errdiscard fixture demonstrating an annotated best-effort call
+}
+
+// stdlibBare shows the documented leniency: bare stdlib calls that return
+// errors are not flagged (the signal lives in module-internal calls).
+func stdlibBare() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ok")
+	return b.String()
+}

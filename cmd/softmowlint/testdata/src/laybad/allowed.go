@@ -1,0 +1,9 @@
+package laybad
+
+import "repro/internal/southbound"
+
+// pipelineMod lives in an allowed file (the test config whitelists
+// allowed.go), so raw message construction is fine here.
+func pipelineMod() southbound.Msg {
+	return southbound.Msg{Type: southbound.TypeFlowModBatch}
+}

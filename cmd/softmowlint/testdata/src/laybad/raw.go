@@ -1,0 +1,13 @@
+// Package laybad violates the layering contract: raw southbound message
+// type constants are used outside the allowed pipeline files.
+package laybad
+
+import "repro/internal/southbound"
+
+func rawMod() southbound.MsgType {
+	return southbound.TypeFlowMod // want layering
+}
+
+func rawBarrier() southbound.Msg {
+	return southbound.Msg{Type: southbound.TypeBarrierRequest} // want layering
+}

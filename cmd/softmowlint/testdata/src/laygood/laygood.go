@@ -1,0 +1,13 @@
+// Package laygood satisfies the layering contract: the one raw message
+// reference carries an annotation, everything else speaks Msg values
+// without the forbidden type constants.
+package laygood
+
+import "repro/internal/southbound"
+
+//softmow:allow layering wire-compat shim exercised by the suppression test
+var raw = southbound.TypeFlowMod
+
+func echo() southbound.Msg {
+	return southbound.Msg{Type: southbound.TypeEchoRequest}
+}

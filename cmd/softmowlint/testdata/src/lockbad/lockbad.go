@@ -1,0 +1,26 @@
+// Package lockbad violates the lockguard contract: a field annotated
+// `guarded by mu` is accessed in functions that never lock the mutex.
+package lockbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the count, guarded by mu.
+	n int
+}
+
+func (c *counter) bump() {
+	c.n++ // want lockguard
+}
+
+func (c *counter) read() int {
+	return c.n // want lockguard
+}
+
+// wrongLock locks a different expression's mutex, which does not cover c.
+func wrongLock(c, other *counter) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	c.n++ // want lockguard
+}

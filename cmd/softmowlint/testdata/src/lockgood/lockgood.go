@@ -1,0 +1,41 @@
+// Package lockgood satisfies the lockguard contract: guarded fields are
+// only touched under their mutex, in *Locked helpers, or under an
+// explicit annotation.
+package lockgood
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// n is the count, guarded by mu.
+	n int
+	// hint is unguarded; accesses anywhere are fine.
+	hint int
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// bumpLocked is called with c.mu held, per the *Locked naming convention.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) read() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// newCounter touches the field before the value escapes; the annotation
+// records why that is safe.
+func newCounter() *counter {
+	c := &counter{}
+	//softmow:allow lockguard construction, the value has not escaped yet
+	c.n = 1
+	c.hint = 2
+	return c
+}

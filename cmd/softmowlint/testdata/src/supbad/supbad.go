@@ -1,0 +1,16 @@
+// Package supbad exercises the suppression diagnostics: annotations with
+// an unknown check name or a missing reason are findings themselves.
+package supbad
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func unknownCheck() {
+	_ = mayFail() //softmow:allow bogus this check name does not exist
+}
+
+func missingReason() {
+	//softmow:allow errdiscard
+	_ = mayFail()
+}

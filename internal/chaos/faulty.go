@@ -16,9 +16,12 @@ import (
 // position inside a multi-rule path setup (first hop, mid-path, or during a
 // classification fan-out).
 type FaultPlan struct {
-	mu       sync.Mutex
-	armed    bool
-	skip     int
+	mu sync.Mutex
+	// armed reports whether a fault is scheduled, guarded by mu.
+	armed bool
+	// skip counts installs to let through before failing one, guarded by mu.
+	skip int
+	// injected records whether the armed fault fired, guarded by mu.
 	injected bool
 }
 

@@ -140,7 +140,7 @@ func (c *Controller) flushBatch(b *ruleBatch, owner string, version int) error {
 	if b == nil || b.size == 0 {
 		return nil
 	}
-	start := time.Now()
+	start := time.Now() //softmow:allow determinism wall clock feeds the flush-latency histogram only, never control decisions
 	devs := make([]Device, 0, len(b.order))
 	for _, id := range b.order {
 		d := c.Device(id)
@@ -162,6 +162,10 @@ func (c *Controller) flushBatch(b *ruleBatch, owner string, version int) error {
 	})
 	if err != nil {
 		flushRollbacks.Inc()
+		// The install error is what the caller acts on; the scrub is
+		// best-effort and idempotent (version filters match nothing once
+		// removed), so its own error carries no extra signal.
+		//softmow:allow errdiscard rollback is best-effort, the install error propagates
 		_ = c.runPerDevice(devs, func(d Device) error {
 			return d.RemoveRulesVersion(owner, version)
 		})

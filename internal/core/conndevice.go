@@ -26,12 +26,16 @@ type ConnDevice struct {
 	id   dataplane.DeviceID
 	conn southbound.Conn
 
-	mu      sync.Mutex
-	ctrl    *Controller
+	mu sync.Mutex
+	// ctrl is the attached controller, guarded by mu.
+	ctrl *Controller
+	// pending maps in-flight request xids to reply channels, guarded by mu.
 	pending map[uint32]chan southbound.Msg
-	closed  bool
+	// closed records connection teardown, guarded by mu.
+	closed bool
 	// backlog holds events that arrived during the feature handshake,
 	// before any controller was attached; setController replays them.
+	// guarded by mu.
 	backlog []southbound.Msg
 
 	xid atomic.Uint32
@@ -84,6 +88,7 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 		// controller once one attaches (setController); dropping them here
 		// used to lose e.g. the first port flap after an agent restart.
 		if m.Type == southbound.TypePacketIn || m.Type == southbound.TypePortStatus {
+			//softmow:allow lockguard pump has not started, this goroutine is the only accessor
 			d.backlog = append(d.backlog, m)
 		}
 	}

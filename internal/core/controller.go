@@ -65,26 +65,37 @@ type Controller struct {
 	// one BuildGraph instead of racing N builds.
 	graphBuildMu sync.Mutex
 
-	mu       sync.Mutex
-	parent   *Controller
-	devices  map[dataplane.DeviceID]Device
-	children map[dataplane.DeviceID]*Controller // child G-switch ID → child
+	mu sync.Mutex
+	// parent is the tree parent, guarded by mu.
+	parent *Controller
+	// devices maps attached device IDs to adapters, guarded by mu.
+	devices map[dataplane.DeviceID]Device
+	// children maps child G-switch IDs to child controllers, guarded by mu.
+	children map[dataplane.DeviceID]*Controller
 
-	cfg         reca.Config
+	// cfg is the RecA configuration, guarded by mu.
+	cfg reca.Config
+	// abstraction is the last computed abstraction, guarded by mu.
 	abstraction *reca.Abstraction
 
+	// alloc and versions are internally synchronized (atomic counters).
 	alloc    *pathimpl.Allocator
 	versions *pathimpl.VersionCounter
 
 	// routes holds interdomain routes known in this controller's region,
 	// keyed by prefix; each option names the local egress port ref.
+	// guarded by mu.
 	routes map[interdomain.PrefixID][]RouteOption
 
-	paths    map[PathID]*PathRecord
+	// paths maps path IDs to records, guarded by mu.
+	paths map[PathID]*PathRecord
+	// nextPath is the last allocated path ID, guarded by mu.
 	nextPath PathID
 
+	// ue carries its own lock (ue.mu).
 	ue *ueState
 
+	// stats counts controller activity, guarded by mu.
 	stats Stats
 }
 
@@ -319,7 +330,7 @@ func (c *Controller) Graph() *routing.Graph {
 	if cc := c.graphCache.Load(); cc != nil && cc.gen == gen {
 		return cc.g // another miss rebuilt while we waited for the lock
 	}
-	start := time.Now()
+	start := time.Now() //softmow:allow determinism wall clock feeds the graph-build histogram only, never control decisions
 	g := routing.BuildGraph(c.NIB)
 	graphBuildTime.Observe(time.Since(start))
 	graphRebuilds.Inc()

@@ -46,7 +46,8 @@ type SwitchDevice struct {
 	net *dataplane.Network
 	sw  *dataplane.Switch
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	// ctrl is the attached controller, guarded by mu.
 	ctrl *Controller
 }
 

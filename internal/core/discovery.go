@@ -28,7 +28,10 @@ func (c *Controller) RunDiscovery() {
 			}
 			f := &discovery.Frame{}
 			f.Push(discovery.StackEntry{Controller: c.ID, Device: fr.Device, Port: p.ID})
-			_ = d.EmitDiscovery(p.ID, f)
+			// A frame that cannot be emitted (port went down between the
+			// Features snapshot and the emit) simply means the link is not
+			// discovered this round — the next round retries every port.
+			_ = d.EmitDiscovery(p.ID, f) //softmow:allow errdiscard discovery is periodic and self-healing, a lost frame is retried next round
 		}
 	}
 }

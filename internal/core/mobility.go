@@ -44,11 +44,12 @@ type UERecord struct {
 }
 
 type ueState struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	// table maps UE IDs to their table rows, guarded by mu.
 	table map[string]*UERecord
-	// bsGroup maps base stations to their BS group.
+	// bsGroup maps base stations to their BS group, guarded by mu.
 	bsGroup map[dataplane.DeviceID]dataplane.DeviceID
-	// groupAttach maps BS groups to their radio attachment port.
+	// groupAttach maps BS groups to their radio attachment port, guarded by mu.
 	groupAttach map[dataplane.DeviceID]dataplane.PortRef
 }
 
@@ -188,21 +189,21 @@ func (c *Controller) Handover(ue string, dstGBS, dstBS dataplane.DeviceID) error
 	if !ok {
 		return fmt.Errorf("core: unknown UE %s", ue)
 	}
-	if dstGroup, local := c.GroupOfBS(dstBS); local {
+	if _, local := c.GroupOfBS(dstBS); local {
 		// Intra-region handover: recompute the path from the new group.
 		if rec.Active {
 			if err := rec.HandledBy.TeardownPath(rec.PathID); err != nil {
 				return err
 			}
 		}
-		newRec, err := c.HandleBearerRequest(BearerRequest{
+		// HandleBearerRequest rewrites the UE table row itself; the returned
+		// record is for callers that need the fresh path ID, which this
+		// handover path does not.
+		if _, err := c.HandleBearerRequest(BearerRequest{
 			UE: ue, BS: dstBS, Prefix: rec.Prefix, QoS: rec.QoS,
-		})
-		if err != nil {
+		}); err != nil {
 			return err
 		}
-		_ = dstGroup
-		_ = newRec
 		c.mu.Lock()
 		c.stats.HandoversHandled++
 		c.mu.Unlock()
@@ -229,7 +230,10 @@ func (c *Controller) Handover(ue string, dstGBS, dstBS dataplane.DeviceID) error
 	// handover finishes, the root asks G-BS1 to release the resources. It
 	// then removes old paths").
 	if rec.Active {
-		_ = rec.HandledBy.TeardownPath(rec.PathID)
+		// The new path is installed and the handover has succeeded; failing
+		// it now over an old-path cleanup error would strand the UE worse
+		// than a leaked (idempotent, re-removable) rule does.
+		_ = rec.HandledBy.TeardownPath(rec.PathID) //softmow:allow errdiscard §5.2 old-path release is best-effort after a committed handover
 	}
 	c.ue.mu.Lock()
 	rec.BS = dstBS
@@ -297,7 +301,7 @@ func (c *Controller) handleInterRegionHandover(req HandoverRequest) (PathID, *Co
 		if tid, err := c.SetupPath(transferMatch, tp); err == nil {
 			// In-flight transfer paths are short-lived; tear down
 			// immediately after the switchover in this synchronous model.
-			_ = c.TeardownPath(tid)
+			_ = c.TeardownPath(tid) //softmow:allow errdiscard transfer path just created above, teardown cannot hit unknown-path
 		}
 	}
 

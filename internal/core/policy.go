@@ -173,7 +173,7 @@ func (c *Controller) SetupPolicyPath(match dataplane.Match, pr *PolicyRoute) (Pa
 	if len(pr.Legs) == 0 {
 		return 0, ErrEmptyPath
 	}
-	start := time.Now()
+	start := time.Now() //softmow:allow determinism wall clock feeds the setup-latency histogram only, never control decisions
 	c.mu.Lock()
 	c.nextPath++
 	id := c.nextPath

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dataplane"
 	"repro/internal/reca"
@@ -101,6 +102,11 @@ func transferUEState(src, dst *Controller, groupID dataplane.DeviceID) {
 	}
 	delete(src.ue.groupAttach, groupID)
 	src.ue.mu.Unlock()
+	// The transfer itself only writes maps, but keep the moved sets in a
+	// stable order so any logging or follow-up per-UE work added here stays
+	// replay-deterministic.
+	sort.Slice(movedUEs, func(i, j int) bool { return movedUEs[i].UE < movedUEs[j].UE })
+	sort.Slice(movedBS, func(i, j int) bool { return movedBS[i] < movedBS[j] })
 
 	dst.ue.mu.Lock()
 	for _, rec := range movedUEs {

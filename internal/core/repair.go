@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/dataplane"
 	"repro/internal/routing"
 )
@@ -32,6 +34,9 @@ func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []Path
 		}
 	}
 	c.mu.Unlock()
+	// Repair in path-id order, not map order: rule installs and removals
+	// reach the seed-replayed data plane.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
 
 	// The NIB mutation for the failure advanced the generation, so this is
 	// a fresh (cache-missed) view that excludes the failed link.
@@ -50,7 +55,10 @@ func (c *Controller) RepairPaths(ref dataplane.PortRef) (repaired, failed []Path
 			}
 			c.mu.Unlock()
 			if ok {
-				// drop the dead rules so traffic punts instead of blackholing
+				// drop the dead rules so traffic punts instead of blackholing;
+				// removals are idempotent filters and the path is already
+				// marked failed, so a partial cleanup cannot make it worse
+				//softmow:allow errdiscard best-effort cleanup of an already-failed path
 				_ = c.runPerDevice(c.Devices(), func(d Device) error {
 					return d.RemoveRules(owner)
 				})

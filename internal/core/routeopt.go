@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/dataplane"
@@ -56,6 +57,10 @@ func (c *Controller) OptimizeRoutes(minHopGain int) RouteOptReport {
 		})
 	}
 	c.mu.Unlock()
+	// Examine in path-id order, not map order: reroutes mutate switch rule
+	// tables, and concurrent paths can contend for bandwidth, so the
+	// winner must be deterministic under seed replay.
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].id < jobs[j].id })
 
 	g := c.Graph()
 	for _, j := range jobs {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/dataplane"
@@ -57,14 +58,22 @@ func (c *Controller) PropagateInterdomain() {
 		return
 	}
 	c.mu.Lock()
-	all := make(map[interdomain.PrefixID][]RouteOption, len(c.routes))
-	for p, opts := range c.routes {
-		all[p] = append([]RouteOption(nil), opts...)
+	// Snapshot in sorted prefix order: the append order below decides how
+	// the parent's Route() breaks ties between equal-cost options, so map
+	// iteration order must not leak into route selection.
+	prefixes := make([]interdomain.PrefixID, 0, len(c.routes))
+	for p := range c.routes {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i] < prefixes[j] })
+	all := make([][]RouteOption, len(prefixes))
+	for i, p := range prefixes {
+		all[i] = append([]RouteOption(nil), c.routes[p]...)
 	}
 	c.mu.Unlock()
 	gsw := c.GSwitchID()
-	for prefix, opts := range all {
-		for _, opt := range opts {
+	for i, prefix := range prefixes {
+		for _, opt := range all[i] {
 			gport, ok := c.exposedPortFor(opt.Ref)
 			if !ok {
 				continue

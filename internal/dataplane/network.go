@@ -11,19 +11,27 @@ import (
 // radio access elements, middleboxes and egress points. It provides
 // wiring helpers and the packet-traversal engine.
 type Network struct {
-	mu           sync.RWMutex
-	switches     map[DeviceID]*Switch
-	links        []*Link
-	linksByPort  map[PortRef]*Link
+	mu sync.RWMutex
+	// switches maps device IDs to switches, guarded by mu.
+	switches map[DeviceID]*Switch
+	// links is every link in insertion order, guarded by mu.
+	links []*Link
+	// linksByPort indexes links by either endpoint, guarded by mu.
+	linksByPort map[PortRef]*Link
+	// baseStations maps BS IDs to records, guarded by mu.
 	baseStations map[DeviceID]*BaseStation
-	groups       map[DeviceID]*BSGroup
-	middleboxes  map[DeviceID]*Middlebox
-	mbByPort     map[PortRef]*Middlebox
-	egress       map[string]*EgressPoint
+	// groups maps BS-group IDs to records, guarded by mu.
+	groups map[DeviceID]*BSGroup
+	// middleboxes maps middlebox IDs to records, guarded by mu.
+	middleboxes map[DeviceID]*Middlebox
+	// mbByPort indexes middleboxes by attachment port, guarded by mu.
+	mbByPort map[PortRef]*Middlebox
+	// egress maps egress names to egress points, guarded by mu.
+	egress map[string]*EgressPoint
 
 	// installFault, when set, is consulted before every rule install; a
 	// non-nil return fails the install with no state change (fault
-	// injection for failure-path testing).
+	// injection for failure-path testing). guarded by mu.
 	installFault func(DeviceID, *Rule) error
 }
 

@@ -117,7 +117,6 @@ func BuildEval(p Params) (*Eval, error) {
 		ev.GroupRegion[g.ID] = ri
 		ev.GroupAttach[g.ID] = dataplane.PortRef{Dev: access, Port: port.ID}
 	}
-	_ = regionOf
 	for _, id := range model.BSIDs {
 		t.Net.AddBaseStation(&dataplane.BaseStation{
 			ID: id, Loc: model.Locs[id], GroupID: model.GroupOf[id],

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataplane"
@@ -84,7 +85,8 @@ func ReplayTrace(ev *Eval, from, to int, scale float64) (*ReplayStats, error) {
 				continue
 			}
 			if prev, dup := admitted[e.UE]; dup {
-				_ = prev.DeactivateBearer(e.UE) // re-admission replaces the bearer
+				// re-admission replaces the bearer
+				_ = prev.DeactivateBearer(e.UE) //softmow:allow errdiscard the UE is being re-admitted, a failed release only leaves an idempotently-removable stale path
 			}
 			rec, err := leaf.HandleBearerRequest(core.BearerRequest{
 				UE: e.UE, BS: e.BS, Prefix: prefixFor(e.UE), QoS: e.QoS,
@@ -144,9 +146,15 @@ func ReplayTrace(ev *Eval, from, to int, scale float64) (*ReplayStats, error) {
 	}
 
 	// Release everything so repeated windows don't leak paths or
-	// reservations.
-	for ue, leaf := range admitted {
-		_ = leaf.DeactivateBearer(ue)
+	// reservations, in UE order so rule removals hit the data plane in the
+	// same sequence on every replay of the same window.
+	ues := make([]string, 0, len(admitted))
+	for ue := range admitted {
+		ues = append(ues, ue)
+	}
+	sort.Strings(ues)
+	for _, ue := range ues {
+		_ = admitted[ue].DeactivateBearer(ue) //softmow:allow errdiscard end-of-window cleanup, the window's stats are already final
 	}
 	return stats, nil
 }

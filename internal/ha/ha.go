@@ -55,12 +55,15 @@ func NewSharedStore() *SharedStore {
 type Instance struct {
 	ID string
 
-	mu    sync.Mutex
-	role  Role
+	mu sync.Mutex
+	// role is the current HA role, guarded by mu.
+	role Role
+	// alive reports instance liveness, guarded by mu.
 	alive bool
 	// redo is invoked for each unfinished log entry on promotion.
+	// guarded by mu.
 	redo func(nib.LogEntry)
-	// processed counts events this instance fully handled.
+	// processed counts events this instance fully handled, guarded by mu.
 	processed int
 }
 
@@ -100,12 +103,16 @@ type Pair struct {
 	// master dead (must exceed HeartbeatInterval).
 	FailureTimeout time.Duration
 
-	mu       sync.Mutex
-	sim      *simnet.Sim
-	master   *Instance
-	standby  *Instance
+	mu sync.Mutex
+	// sim is the driving simulator; set at construction, immutable after.
+	sim *simnet.Sim
+	// master is the current master instance, guarded by mu.
+	master *Instance
+	// standby is the current standby instance, guarded by mu.
+	standby *Instance
+	// lastBeat is the sim time of the last heartbeat, guarded by mu.
 	lastBeat time.Duration
-	// Failovers counts promotions.
+	// Failovers counts promotions, guarded by mu.
 	Failovers int
 }
 

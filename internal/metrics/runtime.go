@@ -128,9 +128,11 @@ func (h *DurationHist) quantile(q float64) time.Duration {
 // NewDurationHist. Registration is rare (package init); reads and writes
 // of the instruments themselves never touch the registry lock.
 var runtimeReg = struct {
-	mu       sync.Mutex
+	mu sync.Mutex
+	// counters maps metric names to counters, guarded by mu.
 	counters map[string]*Counter
-	hists    map[string]*DurationHist
+	// hists maps metric names to histograms, guarded by mu.
+	hists map[string]*DurationHist
 }{
 	counters: make(map[string]*Counter),
 	hists:    make(map[string]*DurationHist),

@@ -118,9 +118,11 @@ type Subscriber func(Event)
 
 // NIB is a concurrency-safe network information base.
 type NIB struct {
-	mu      sync.RWMutex
+	mu sync.RWMutex
+	// devices holds the device records, guarded by mu.
 	devices map[dataplane.DeviceID]*Device
-	links   map[LinkKey]*Link
+	// links holds the link records, guarded by mu.
+	links map[LinkKey]*Link
 	// gen counts mutations; it is bumped inside the write critical section
 	// of every state-changing operation, so any reader that observes a
 	// generation value and then acquires the NIB lock sees at least all
@@ -130,7 +132,9 @@ type NIB struct {
 	gen atomic.Uint64
 
 	subMu sync.RWMutex
-	subs  map[int]Subscriber
+	// subs holds the change subscribers, guarded by subMu.
+	subs map[int]Subscriber
+	// nextS is the next subscriber id, guarded by subMu.
 	nextS int
 
 	log *EventLog
@@ -182,6 +186,15 @@ func (n *NIB) RemoveDevice(id dataplane.DeviceID) {
 			dropped = append(dropped, k)
 		}
 	}
+	// Sort so the EvLinkRemoved notifications below fire in a
+	// map-iteration-independent order — subscribers append to the replayable
+	// event log.
+	sort.Slice(dropped, func(i, j int) bool {
+		if dropped[i].A != dropped[j].A {
+			return less(dropped[i].A, dropped[j].A)
+		}
+		return less(dropped[i].B, dropped[j].B)
+	})
 	for _, k := range dropped {
 		delete(n.links, k)
 	}
@@ -362,10 +375,18 @@ func (n *NIB) Subscribe(s Subscriber) (cancel func()) {
 }
 
 func (n *NIB) notify(ev Event) {
+	// Subscribers run in registration order, not map order: callbacks can
+	// have observable side effects (cache invalidation, event-log appends),
+	// so their invocation order must not depend on map iteration.
 	n.subMu.RLock()
-	subs := make([]Subscriber, 0, len(n.subs))
-	for _, s := range n.subs {
-		subs = append(subs, s)
+	ids := make([]int, 0, len(n.subs))
+	for id := range n.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	subs := make([]Subscriber, 0, len(ids))
+	for _, id := range ids {
+		subs = append(subs, n.subs[id])
 	}
 	n.subMu.RUnlock()
 	for _, s := range subs {

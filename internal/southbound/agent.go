@@ -1,11 +1,19 @@
 package southbound
 
 import (
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/metrics"
 )
+
+// droppedSends counts device-to-controller messages lost on dead or closing
+// connections. Sends to a closed peer are expected during teardown (Serve's
+// exit prunes the peer), but a growing counter on a healthy deployment
+// points at a controller that stopped draining its connection.
+var droppedSends = metrics.NewCounter("southbound.dropped_sends")
 
 // LinkMetaFiller lets control payloads (link-discovery frames) learn the
 // properties of the physical link they cross, as the paper's leaf
@@ -24,7 +32,8 @@ type SwitchAgent struct {
 	Net *dataplane.Network
 	Sw  *dataplane.Switch
 
-	mu    sync.Mutex
+	mu sync.Mutex
+	// conns maps live controller connections to their peers, guarded by mu.
 	conns map[Conn]*agentPeer
 }
 
@@ -71,6 +80,15 @@ func (a *SwitchAgent) ControlIn(inPort dataplane.PortID, control interface{}) {
 	})
 }
 
+// send delivers one message to a peer, counting (rather than silently
+// dropping) failures: a send can only fail when the connection is closed or
+// its transport died, and the peer is then pruned by Serve's exit.
+func (a *SwitchAgent) send(p *agentPeer, m Msg) {
+	if err := p.conn.Send(m); err != nil {
+		droppedSends.Inc()
+	}
+}
+
 func (a *SwitchAgent) broadcast(m Msg) {
 	a.mu.Lock()
 	peers := make([]*agentPeer, 0, len(a.conns))
@@ -78,8 +96,11 @@ func (a *SwitchAgent) broadcast(m Msg) {
 		peers = append(peers, p)
 	}
 	a.mu.Unlock()
+	// Deliver in deterministic (controller-name) order, not map order:
+	// controllers append these events to replayable logs.
+	sort.Slice(peers, func(i, j int) bool { return peers[i].name < peers[j].name })
 	for _, p := range peers {
-		_ = p.conn.Send(m) // closed peers are pruned by Serve's exit
+		a.send(p, m)
 	}
 }
 
@@ -125,37 +146,37 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 	switch m.Type {
 	case TypeEchoRequest:
 		body, _ := m.Body.(Echo)
-		_ = peer.conn.Send(Msg{Type: TypeEchoReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: body})
+		a.send(peer, Msg{Type: TypeEchoReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: body})
 
 	case TypeFeatureRequest:
-		_ = peer.conn.Send(Msg{Type: TypeFeatureReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: a.features()})
+		a.send(peer, Msg{Type: TypeFeatureReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: a.features()})
 
 	case TypeFlowMod:
 		if peer.role == RoleSlave || peer.role == RoleNone {
-			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+			a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 				Body: Error{Code: ErrCodePermission, Message: "slave may not modify flows"}})
 			return
 		}
 		fm, ok := m.Body.(FlowMod)
 		if !ok {
-			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+			a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 				Body: Error{Code: ErrCodeBadRequest, Message: "malformed flow-mod"}})
 			return
 		}
 		if err := a.applyFlowMod(fm); err != nil {
-			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+			a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 				Body: Error{Code: ErrCodeBadRequest, Message: err.Error()}})
 		}
 
 	case TypeFlowModBatch:
 		if peer.role == RoleSlave || peer.role == RoleNone {
-			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+			a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 				Body: Error{Code: ErrCodePermission, Message: "slave may not modify flows"}})
 			return
 		}
 		fb, ok := m.Body.(FlowModBatch)
 		if !ok {
-			_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+			a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 				Body: Error{Code: ErrCodeBadRequest, Message: "malformed flow-mod batch"}})
 			return
 		}
@@ -164,7 +185,7 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 		// fence observes the error and rolls the partial version back.
 		for _, fm := range fb.Mods {
 			if err := a.applyFlowMod(fm); err != nil {
-				_ = peer.conn.Send(Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
+				a.send(peer, Msg{Type: TypeError, Xid: m.Xid, Datapath: a.Sw.ID,
 					Body: Error{Code: ErrCodeBadRequest, Message: err.Error()}})
 				return
 			}
@@ -183,11 +204,11 @@ func (a *SwitchAgent) handle(peer *agentPeer, m Msg) {
 			return
 		}
 		peer.role = rr.Role
-		_ = peer.conn.Send(Msg{Type: TypeRoleReply, Xid: m.Xid, Datapath: a.Sw.ID,
+		a.send(peer, Msg{Type: TypeRoleReply, Xid: m.Xid, Datapath: a.Sw.ID,
 			Body: RoleReply{Controller: peer.name, Role: rr.Role}})
 
 	case TypeBarrierRequest:
-		_ = peer.conn.Send(Msg{Type: TypeBarrierReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: Barrier{}})
+		a.send(peer, Msg{Type: TypeBarrierReply, Xid: m.Xid, Datapath: a.Sw.ID, Body: Barrier{}})
 	}
 }
 
@@ -243,7 +264,7 @@ func (a *SwitchAgent) packetOut(peer *agentPeer, xid uint32, po PacketOut) {
 	}
 	port := a.Sw.PortByID(po.OutPort)
 	if port == nil {
-		_ = peer.conn.Send(Msg{Type: TypeError, Xid: xid, Datapath: a.Sw.ID,
+		a.send(peer, Msg{Type: TypeError, Xid: xid, Datapath: a.Sw.ID,
 			Body: Error{Code: ErrCodeUnknownPort, Message: "packet-out on unknown port"}})
 		return
 	}
@@ -270,6 +291,9 @@ func (a *SwitchAgent) packetOut(peer *agentPeer, xid uint32, po PacketOut) {
 		return
 	}
 	if po.Packet != nil {
-		_, _ = a.Net.Inject(far.Dev, far.Port, po.Packet)
+		// A rejected injection means the packet died in the data plane
+		// (unknown far switch, no matching rule) — exactly what happens to a
+		// real frame, so there is nothing to report to the sending peer.
+		_, _ = a.Net.Inject(far.Dev, far.Port, po.Packet) //softmow:allow errdiscard packet loss is data-plane behaviour, not an agent fault
 	}
 }

@@ -31,7 +31,8 @@ type chanConn struct {
 	out chan<- Msg
 	in  <-chan Msg
 
-	mu     sync.Mutex
+	mu sync.Mutex
+	// closed records a local Close, guarded by mu.
 	closed bool
 	done   chan struct{} // shared between both ends
 }
@@ -107,9 +108,11 @@ func (c *chanConn) Close() error {
 type gobConn struct {
 	nc   net.Conn
 	encM sync.Mutex
+	// enc is the shared stream encoder, guarded by encM.
 	enc  *gob.Encoder
 	decM sync.Mutex
-	dec  *gob.Decoder
+	// dec is the shared stream decoder, guarded by decM.
+	dec *gob.Decoder
 
 	closeOnce sync.Once
 	closeErr  error
@@ -210,7 +213,9 @@ func Accept(c Conn, sender string) (peer string, err error) {
 		return "", fmt.Errorf("southbound: malformed hello body %T", m.Body)
 	}
 	if h.Version != ProtocolVersion {
-		_ = c.Send(Msg{Type: TypeError, Body: Error{Code: ErrCodeVersionMismatch, Message: "version mismatch"}})
+		// Best-effort courtesy notice: the handshake is failing anyway, and
+		// the error below already carries the full diagnosis.
+		_ = c.Send(Msg{Type: TypeError, Body: Error{Code: ErrCodeVersionMismatch, Message: "version mismatch"}}) //softmow:allow errdiscard best-effort notice on an already-failing handshake
 		return "", fmt.Errorf("southbound: version mismatch: local %d, peer %d", ProtocolVersion, h.Version)
 	}
 	if err := c.Send(Msg{Type: TypeHello, Body: Hello{Sender: sender, Version: ProtocolVersion}}); err != nil {
