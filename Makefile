@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench docs-check lint
+.PHONY: build test vet race chaos check bench bench-workload docs-check lint
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,12 @@ bench:
 	  -benchmem ./internal/routing ./internal/reca ./internal/core \
 	  | awk '/^Benchmark/ { gsub(/-[0-9]+$$/, "", $$1); printf("{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n", $$1, $$2, $$3, $$5, $$7) }' \
 	  | tee BENCH_routing.json
+
+# Run the deterministic UE workload driver at benchmark scale and record
+# BENCH_workload.json: sustained events/sec, p50/p99 per op type, replay
+# digests, and the sharded-vs-single-mutex UE store comparison (-compare).
+# Override scale with WORKLOAD_ARGS, e.g.
+#   make bench-workload WORKLOAD_ARGS='-ues 100000 -events 400000 -regions 4'
+WORKLOAD_ARGS ?= -seed 1 -regions 4 -ues 100000 -events 200000 -compare -shards 16
+bench-workload:
+	$(GO) run ./cmd/loadgen $(WORKLOAD_ARGS) -out BENCH_workload.json

@@ -1,0 +1,207 @@
+// Command loadgen drives the deterministic UE workload engine against an
+// N-region hierarchy and writes BENCH_workload.json: sustained events/sec,
+// p50/p99 latency per operation type, replay digests, and (with -compare)
+// the sharded-versus-single-mutex UE store throughput comparison.
+//
+// The schedule and final logical UE-table state depend only on the seed
+// and config; two runs with the same -seed print identical trace_digest
+// and state_digest values. Typical invocations:
+//
+//	go run ./cmd/loadgen -seed 1 -regions 4 -ues 100000 -events 400000
+//	go run ./cmd/loadgen -seed 1 -compare -shards 16   # baseline speedup
+//	go run ./cmd/loadgen -seed 1 -mode open -rate 20000 -inflight 256
+//	go run ./cmd/loadgen -seed 1 -lte-minute 720       # noon diurnal mix
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ltetrace"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the program body so profile-writing defers run before
+// the exit status is set.
+func realMain() int {
+	var (
+		seed      = flag.Int64("seed", 1, "schedule seed (replays exactly)")
+		regions   = flag.Int("regions", 4, "leaf regions in the ring")
+		bsPer     = flag.Int("bs-per-region", 4, "base stations per region")
+		ues       = flag.Int("ues", 100_000, "UE population size")
+		events    = flag.Int("events", 400_000, "operations to generate")
+		shards    = flag.Int("shards", core.DefaultUEShards, "UE-store shards per controller (1 = coarse single-mutex baseline)")
+		mode      = flag.String("mode", "closed", "pacing mode: closed | open")
+		workers   = flag.Int("workers", 0, "execution lanes (0 = GOMAXPROCS)")
+		inflight  = flag.Int("inflight", 0, "open-loop in-flight admission window (0 = 4x workers)")
+		rate      = flag.Float64("rate", 0, "open-loop target events/sec (0 = window-limited)")
+		lteMinute = flag.Int("lte-minute", -1, "derive the op mix from the ltetrace diurnal model at this minute of day (-1 = default mix)")
+		remote    = flag.Float64("remote-share", 0.2, "probability an attach targets another region's prefix")
+		ctrlDelay = flag.Duration("control-delay", 200*time.Microsecond, "emulated controller-switch WAN round trip per southbound mutation (0 = in-process)")
+		out       = flag.String("out", "BENCH_workload.json", "report path")
+		trace     = flag.String("trace", "", "also write the replayable event trace to this path")
+		compare   = flag.Bool("compare", false, "run a bearer-heavy pass at -shards 1 and again at -shards, report the speedup")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
+		mtxProf   = flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mtxProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mtxProf)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	cfg := workload.Config{
+		Seed: *seed, Regions: *regions, BSPerRegion: *bsPer,
+		UEs: *ues, Events: *events, Shards: *shards,
+		Mode: workload.Mode(*mode), Workers: *workers,
+		MaxInFlight: *inflight, RatePerSec: *rate,
+		RemotePrefixShare: *remote, ControlDelay: *ctrlDelay,
+	}
+	if *lteMinute >= 0 {
+		cfg.Mix, cfg.BSWeights = workload.MixFromLTE(ltetrace.Params{}, *lteMinute, *regions, *bsPer)
+	}
+
+	rep, err := run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if *compare {
+		base, err := comparePass(cfg, 1)
+		if err != nil {
+			fatal(fmt.Errorf("baseline pass: %w", err))
+		}
+		shrd, err := comparePass(cfg, *shards)
+		if err != nil {
+			fatal(fmt.Errorf("sharded pass: %w", err))
+		}
+		rep.Baseline = &workload.BaselineComparison{
+			BaselineShards: 1, ShardedShards: *shards,
+			BaselineEPS: base, ShardedEPS: shrd,
+			Speedup: shrd / base,
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("loadgen: seed %d: %d events, %.0f events/sec, %d failures, %d stalls\n",
+		*seed, rep.Events, rep.EventsPerSec, rep.Failures, rep.Stalls)
+	fmt.Printf("loadgen: trace %s state %s (%d UE rows) -> %s\n",
+		rep.TraceDigest, rep.StateDigest, rep.FinalUEs, *out)
+	if rep.Baseline != nil {
+		fmt.Printf("loadgen: sharded (%d) %.0f ev/s vs coarse (1) %.0f ev/s: %.2fx\n",
+			rep.Baseline.ShardedShards, rep.Baseline.ShardedEPS,
+			rep.Baseline.BaselineEPS, rep.Baseline.Speedup)
+	}
+	if rep.Failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+// run executes one configured pass and assembles its report.
+func run(cfg workload.Config) (*workload.Report, error) {
+	eng, cl, err := workload.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := eng.Run()
+	rep := workload.BuildReport(cfg, cl, res)
+	if res.FirstErr != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: first failure: %v\n", res.FirstErr)
+	}
+	return rep, nil
+}
+
+// comparePass measures closed-loop bearer-heavy throughput at a shard
+// count: an attached population churning bearer setup/teardown, the §5.1
+// hot path the sharded store parallelizes.
+func comparePass(cfg workload.Config, shards int) (float64, error) {
+	cfg.Shards = shards
+	cfg.Mode = workload.ModeClosed
+	cfg.Mix = workload.BearerHeavyMix()
+	cfg.BSWeights = nil
+	cfg.RatePerSec = 0
+	eng, _, err := workload.NewEngine(cfg)
+	if err != nil {
+		return 0, err
+	}
+	res := eng.Run()
+	if res.FirstErr != nil {
+		return 0, res.FirstErr
+	}
+	return res.EventsPerSec(), nil
+}
+
+// writeTrace regenerates the schedule (generation is cheap and pure) and
+// writes one line per op.
+func writeTrace(path string, cfg workload.Config) error {
+	ops, err := workload.GenerateSchedule(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, op := range ops {
+		fmt.Fprintln(w, op.TraceLine())
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(2)
+}

@@ -42,13 +42,15 @@ import (
 // chaos harness's byte-identical seed replay flows through (core rule
 // programming, the harness itself, the wire protocol, the virtual clock)
 // plus the NIB, whose accessor and notification order reaches the replay
-// log.
+// log, and the workload engine, whose schedule and state digests must be
+// pure functions of (seed, config).
 var determinismPkgs = map[string]bool{
 	"repro/internal/core":       true,
 	"repro/internal/chaos":      true,
 	"repro/internal/southbound": true,
 	"repro/internal/simnet":     true,
 	"repro/internal/nib":        true,
+	"repro/internal/workload":   true,
 }
 
 // runConfigured executes every analyzer that applies to the package under

@@ -18,7 +18,51 @@ func (h *Harness) CheckInvariants() error {
 	if err := h.checkLinkConsistency(); err != nil {
 		return err
 	}
+	if err := h.checkUEConsistency(); err != nil {
+		return err
+	}
 	return h.checkMastership()
+}
+
+// checkUEConsistency asserts every controller's UE table is coherent with
+// the path store and the radio index: an active row's owning controller
+// still holds its path record as active, a row's serving group (when the
+// UE has not roamed away) is the group its BS actually camps on and that
+// group has a radio attachment. A violation means a concurrent mobility
+// operation tore a row and its path apart.
+func (h *Harness) checkUEConsistency() error {
+	for _, c := range h.hier.All {
+		for _, rec := range c.UERecords() {
+			if rec.Active {
+				if rec.HandledBy == nil {
+					return fmt.Errorf("%s: active UE %s has no owning controller", c.ID, rec.UE)
+				}
+				p, ok := rec.HandledBy.Path(rec.PathID)
+				if !ok {
+					return fmt.Errorf("%s: active UE %s points at unknown path %d on %s",
+						c.ID, rec.UE, rec.PathID, rec.HandledBy.ID)
+				}
+				if !p.Active {
+					return fmt.Errorf("%s: active UE %s points at deactivated path %d on %s",
+						c.ID, rec.UE, rec.PathID, rec.HandledBy.ID)
+				}
+			}
+			if rec.Group != "" {
+				g, ok := c.GroupOfBS(rec.BS)
+				if !ok {
+					return fmt.Errorf("%s: UE %s camps on %s, unknown to the radio index", c.ID, rec.UE, rec.BS)
+				}
+				if g != rec.Group {
+					return fmt.Errorf("%s: UE %s row says group %s, radio index says %s",
+						c.ID, rec.UE, rec.Group, g)
+				}
+				if _, ok := c.AttachOfGroup(rec.Group); !ok {
+					return fmt.Errorf("%s: UE %s group %s has no radio attachment", c.ID, rec.UE, rec.Group)
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkNoOrphanRules asserts every rule installed on a physical switch is

@@ -48,6 +48,14 @@ type remoteDevice interface {
 	remoteSouthbound()
 }
 
+// RemoteSouthbound marks a Device implementation outside this package as
+// remote for southbound fan-out purposes (see remoteDevice): embed it in
+// any wrapper whose rule programming pays a wire round trip, so batches
+// touching it flush concurrently across devices.
+type RemoteSouthbound struct{}
+
+func (RemoteSouthbound) remoteSouthbound() {}
+
 // installRules programs a batch of rules on one device, via the
 // BatchInstaller fast path when available.
 func installRules(d Device, rules []dataplane.Rule) error {

@@ -92,7 +92,8 @@ type Controller struct {
 	// nextPath is the last allocated path ID, guarded by mu.
 	nextPath PathID
 
-	// ue carries its own lock (ue.mu).
+	// ue is the sharded UE store; it carries its own striped locks
+	// (ueshard.go), independent of mu.
 	ue *ueState
 
 	// stats counts controller activity, guarded by mu.
@@ -125,7 +126,7 @@ func NewController(id string, level, index int) *Controller {
 		versions: &pathimpl.VersionCounter{},
 		routes:   make(map[interdomain.PrefixID][]RouteOption),
 		paths:    make(map[PathID]*PathRecord),
-		ue:       newUEState(),
+		ue:       newUEState(DefaultUEShards),
 	}
 	// Eager cache invalidation: any NIB change event drops the cached
 	// routing graph immediately (freeing it for GC); the generation check

@@ -175,7 +175,10 @@ func DerivedConfig(c *Controller, isBorder func(dataplane.GBSInfo) bool) reca.Co
 }
 
 // indexRadioFromChildren fills the controller's radio index so the
-// mobility app can route from child-exposed G-BSes.
+// mobility app can route from child-exposed G-BSes. The index is
+// reconciled, not merged: after a reconfiguration moves a group between
+// children, the group's old attachment (on the source child's G-switch)
+// must disappear, or handovers would keep routing from the stale port.
 func indexRadioFromChildren(c *Controller) {
 	groupAttach := make(map[dataplane.DeviceID]dataplane.PortRef)
 	for _, d := range c.NIB.Devices(dataplane.KindGSwitch) {
@@ -183,7 +186,7 @@ func indexRadioFromChildren(c *Controller) {
 			groupAttach[g.ID] = dataplane.PortRef{Dev: d.ID, Port: g.AttachPort}
 		}
 	}
-	c.SetRadioIndex(nil, groupAttach)
+	c.ReconcileRadioIndex(nil, groupAttach)
 }
 
 // RefreshDerived re-derives a non-leaf controller's configuration and

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/dataplane"
 	"repro/internal/interdomain"
@@ -13,7 +12,10 @@ import (
 // The mobility application (§5) implements UE bearer management and
 // handovers on top of the NOS northbound API. It maintains the two §5.1
 // tables: the UE table (bearer request → local path ID) and the path table
-// (held by the controller's path records).
+// (held by the controller's path records). UE state lives in the sharded
+// store (ueshard.go): public entry points acquire the per-UE operation
+// lock and delegate to *Locked helpers, so concurrent operations on one UE
+// serialize while different UEs proceed in parallel.
 
 // BearerRequest is the §5.1 "(UE ID, BS ID, SRC IP, DST IP, REQ)" tuple.
 type BearerRequest struct {
@@ -43,62 +45,57 @@ type UERecord struct {
 	Active    bool
 }
 
-type ueState struct {
-	mu sync.Mutex
-	// table maps UE IDs to their table rows, guarded by mu.
-	table map[string]*UERecord
-	// bsGroup maps base stations to their BS group, guarded by mu.
-	bsGroup map[dataplane.DeviceID]dataplane.DeviceID
-	// groupAttach maps BS groups to their radio attachment port, guarded by mu.
-	groupAttach map[dataplane.DeviceID]dataplane.PortRef
-}
-
-func newUEState() *ueState {
-	return &ueState{
-		table:       make(map[string]*UERecord),
-		bsGroup:     make(map[dataplane.DeviceID]dataplane.DeviceID),
-		groupAttach: make(map[dataplane.DeviceID]dataplane.PortRef),
-	}
-}
-
-// SetRadioIndex installs the BS→group and group→attachment maps the
-// mobility application needs (management-plane configuration).
+// SetRadioIndex merges entries into the BS→group and group→attachment maps
+// the mobility application needs (management-plane configuration).
+// Existing entries for other keys are left in place — TransferBorderGroup
+// relies on merge semantics to adopt one group into a live target leaf.
+// Callers rebuilding an index from scratch (so stale entries must
+// disappear) use ReconcileRadioIndex instead.
 func (c *Controller) SetRadioIndex(bsGroup map[dataplane.DeviceID]dataplane.DeviceID, groupAttach map[dataplane.DeviceID]dataplane.PortRef) {
-	c.ue.mu.Lock()
-	defer c.ue.mu.Unlock()
-	for k, v := range bsGroup {
-		c.ue.bsGroup[k] = v
-	}
-	for k, v := range groupAttach {
-		c.ue.groupAttach[k] = v
-	}
+	c.ue.radio.merge(bsGroup, groupAttach)
 }
 
-// GroupOfBS resolves a base station's BS group.
+// ReconcileRadioIndex replaces each non-nil index wholesale: entries
+// absent from the replacement are dropped. A nil map leaves that index
+// untouched. Non-leaf controllers re-deriving their radio view from
+// children after a reconfiguration (§5.3.2) use this so a group moved
+// between children does not leave a stale attachment behind.
+func (c *Controller) ReconcileRadioIndex(bsGroup map[dataplane.DeviceID]dataplane.DeviceID, groupAttach map[dataplane.DeviceID]dataplane.PortRef) {
+	c.ue.radio.reconcile(bsGroup, groupAttach)
+}
+
+// RemoveRadioGroup deletes a BS group's attachment and every BS mapped to
+// it from the radio index, returning the removed BSes in sorted order —
+// the explicit remove path a source leaf runs when a group leaves its
+// region.
+func (c *Controller) RemoveRadioGroup(group dataplane.DeviceID) []dataplane.DeviceID {
+	return c.ue.radio.removeGroup(group)
+}
+
+// GroupOfBS resolves a base station's BS group (read-lock only; never
+// contends with bearer record writers).
 func (c *Controller) GroupOfBS(bs dataplane.DeviceID) (dataplane.DeviceID, bool) {
-	c.ue.mu.Lock()
-	defer c.ue.mu.Unlock()
-	g, ok := c.ue.bsGroup[bs]
-	return g, ok
+	return c.ue.radio.groupOf(bs)
 }
 
-// AttachOfGroup resolves a BS group's radio attachment.
+// AttachOfGroup resolves a BS group's radio attachment (read-lock only).
 func (c *Controller) AttachOfGroup(g dataplane.DeviceID) (dataplane.PortRef, bool) {
-	c.ue.mu.Lock()
-	defer c.ue.mu.Unlock()
-	ref, ok := c.ue.groupAttach[g]
-	return ref, ok
+	return c.ue.radio.attachOf(g)
 }
 
 // UE returns a UE table row.
 func (c *Controller) UE(ue string) (UERecord, bool) {
-	c.ue.mu.Lock()
-	defer c.ue.mu.Unlock()
-	r, ok := c.ue.table[ue]
-	if !ok {
-		return UERecord{}, false
-	}
-	return *r, true
+	return c.ue.get(ue)
+}
+
+// UECount reports the number of UE table rows.
+func (c *Controller) UECount() int {
+	return c.ue.count()
+}
+
+// UERecords returns a copy of every UE table row, sorted by UE ID.
+func (c *Controller) UERecords() []UERecord {
+	return c.ue.snapshot()
 }
 
 // ErrUnknownBS is returned for bearer requests from unconfigured base
@@ -107,8 +104,18 @@ var ErrUnknownBS = errors.New("core: unknown base station")
 
 // HandleBearerRequest processes a UE bearer request at a leaf controller
 // (§5.1): route locally, delegating to ancestors when the local region
-// cannot satisfy the QoS, then implement the path and record it.
+// cannot satisfy the QoS, then implement the path and record it. A repeat
+// request for an attached UE replaces its default bearer make-before-break
+// (the new path is installed before the old one is released).
 func (c *Controller) HandleBearerRequest(req BearerRequest) (*UERecord, error) {
+	done := c.ue.lockUE(req.UE)
+	defer done()
+	return c.handleBearerRequestLocked(req)
+}
+
+// handleBearerRequestLocked is HandleBearerRequest under the caller-held
+// per-UE operation lock.
+func (c *Controller) handleBearerRequestLocked(req BearerRequest) (*UERecord, error) {
 	group, ok := c.GroupOfBS(req.BS)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownBS, req.BS)
@@ -135,13 +142,19 @@ func (c *Controller) HandleBearerRequest(req BearerRequest) (*UERecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Re-admission replaces the UE's default bearer: release the previous
+	// path so a repeated attach (or an intra-region handover) cannot leak
+	// an installed path no table row records. The new path is already
+	// carrying traffic (its classify rules outrank the old version's), so
+	// the release is best-effort cleanup.
+	if old, ok := c.ue.get(req.UE); ok && old.Active {
+		_ = old.HandledBy.TeardownPath(old.PathID) //softmow:allow errdiscard best-effort release of the replaced bearer path; teardown is idempotent
+	}
 	rec := &UERecord{
 		UE: req.UE, BS: req.BS, Group: group, Prefix: req.Prefix, QoS: req.QoS,
 		PathID: pathID, HandledBy: res.ResolvedBy, Active: true,
 	}
-	c.ue.mu.Lock()
-	c.ue.table[req.UE] = rec
-	c.ue.mu.Unlock()
+	c.ue.put(rec)
 	c.mu.Lock()
 	c.stats.BearersHandled++
 	c.mu.Unlock()
@@ -154,16 +167,42 @@ func (c *Controller) HandleBearerRequest(req BearerRequest) (*UERecord, error) {
 // application continues to request bearer deactivation from its parent via
 // RecA").
 func (c *Controller) DeactivateBearer(ue string) error {
-	c.ue.mu.Lock()
-	rec, ok := c.ue.table[ue]
-	if ok {
-		rec.Active = false
-	}
-	c.ue.mu.Unlock()
+	done := c.ue.lockUE(ue)
+	defer done()
+	return c.deactivateBearerLocked(ue)
+}
+
+// deactivateBearerLocked is DeactivateBearer under the caller-held per-UE
+// operation lock.
+func (c *Controller) deactivateBearerLocked(ue string) error {
+	var rec UERecord
+	ok := c.ue.update(ue, func(r *UERecord) {
+		r.Active = false
+		rec = *r
+	})
 	if !ok {
 		return fmt.Errorf("core: unknown UE %s", ue)
 	}
 	return rec.HandledBy.TeardownPath(rec.PathID)
+}
+
+// Detach removes a UE from the network entirely: its bearer path (if
+// still active) is torn down via the controller that owns it and its UE
+// table row is deleted. Detach is the terminal transition of the §5.1 UE
+// lifecycle; re-attaching later is a fresh HandleBearerRequest.
+func (c *Controller) Detach(ue string) error {
+	done := c.ue.lockUE(ue)
+	defer done()
+	rec, ok := c.ue.get(ue)
+	if !ok {
+		return fmt.Errorf("core: unknown UE %s", ue)
+	}
+	var err error
+	if rec.Active {
+		err = rec.HandledBy.TeardownPath(rec.PathID)
+	}
+	c.ue.remove(ue)
+	return err
 }
 
 // HandoverRequest is the §5.2 inter-region handover request: "contains at
@@ -183,23 +222,23 @@ type HandoverRequest struct {
 // this leaf's region the intra-region procedure applies; otherwise the
 // request ascends to the lowest ancestor controlling both G-BSes (§5.2).
 func (c *Controller) Handover(ue string, dstGBS, dstBS dataplane.DeviceID) error {
-	c.ue.mu.Lock()
-	rec, ok := c.ue.table[ue]
-	c.ue.mu.Unlock()
+	done := c.ue.lockUE(ue)
+	defer done()
+	return c.handoverLocked(ue, dstGBS, dstBS)
+}
+
+// handoverLocked is Handover under the caller-held per-UE operation lock.
+func (c *Controller) handoverLocked(ue string, dstGBS, dstBS dataplane.DeviceID) error {
+	rec, ok := c.ue.get(ue)
 	if !ok {
 		return fmt.Errorf("core: unknown UE %s", ue)
 	}
 	if _, local := c.GroupOfBS(dstBS); local {
 		// Intra-region handover: recompute the path from the new group.
-		if rec.Active {
-			if err := rec.HandledBy.TeardownPath(rec.PathID); err != nil {
-				return err
-			}
-		}
-		// HandleBearerRequest rewrites the UE table row itself; the returned
-		// record is for callers that need the fresh path ID, which this
-		// handover path does not.
-		if _, err := c.HandleBearerRequest(BearerRequest{
+		// handleBearerRequestLocked installs the new path first and then
+		// releases the replaced one (make-before-break), rewriting the UE
+		// table row itself.
+		if _, err := c.handleBearerRequestLocked(BearerRequest{
 			UE: ue, BS: dstBS, Prefix: rec.Prefix, QoS: rec.QoS,
 		}); err != nil {
 			return err
@@ -235,12 +274,16 @@ func (c *Controller) Handover(ue string, dstGBS, dstBS dataplane.DeviceID) error
 		// than a leaked (idempotent, re-removable) rule does.
 		_ = rec.HandledBy.TeardownPath(rec.PathID) //softmow:allow errdiscard §5.2 old-path release is best-effort after a committed handover
 	}
-	c.ue.mu.Lock()
-	rec.BS = dstBS
-	rec.Group = "" // now controlled by the target leaf
-	rec.PathID = newPath
-	rec.HandledBy = handledBy
-	c.ue.mu.Unlock()
+	c.ue.update(ue, func(r *UERecord) {
+		r.BS = dstBS
+		r.Group = "" // now controlled by the target leaf
+		r.PathID = newPath
+		r.HandledBy = handledBy
+		// The handover just installed a live path, so the row is active
+		// even if the UE was idle before — otherwise the new path could
+		// never be deactivated or detached.
+		r.Active = true
+	})
 	c.mu.Lock()
 	c.stats.HandoversHandled++
 	c.mu.Unlock()
@@ -323,10 +366,7 @@ func (c *Controller) findGBSPort(gbs dataplane.DeviceID) (dataplane.PortRef, boo
 	}
 	// Leaf level: the G-BS may be a local group exposed by this controller
 	// itself.
-	c.ue.mu.Lock()
-	ref, ok := c.ue.groupAttach[gbs]
-	c.ue.mu.Unlock()
-	if ok {
+	if ref, ok := c.ue.radio.attachOf(gbs); ok {
 		return ref, true
 	}
 	return dataplane.PortRef{}, false

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/dataplane"
 	"repro/internal/reca"
@@ -81,39 +80,21 @@ func (h *Hierarchy) TransferBorderGroup(groupID dataplane.DeviceID, src, dst *Co
 }
 
 // transferUEState moves UE table rows for UEs camped on the moved group,
-// plus the BS→group index entries.
+// plus the BS→group index entries. Shard-aware: takeGroup/putAll walk the
+// striped tables (returning stable, sorted sets so any logging or
+// follow-up per-UE work added here stays replay-deterministic), and
+// RemoveRadioGroup is the explicit remove path that keeps the source's
+// radio index from accumulating stale entries for the departed group. The
+// §5.3.2 protocol drains the group's bearers before the transfer, so no
+// per-UE operation is in flight on the moved rows.
 func transferUEState(src, dst *Controller, groupID dataplane.DeviceID) {
-	src.ue.mu.Lock()
-	var movedUEs []*UERecord
-	for ue, rec := range src.ue.table {
-		if rec.Group == groupID {
-			movedUEs = append(movedUEs, rec)
-			delete(src.ue.table, ue)
-		}
-	}
-	var movedBS []dataplane.DeviceID
-	for bs, g := range src.ue.bsGroup {
-		if g == groupID {
-			movedBS = append(movedBS, bs)
-		}
-	}
-	for _, bs := range movedBS {
-		delete(src.ue.bsGroup, bs)
-	}
-	delete(src.ue.groupAttach, groupID)
-	src.ue.mu.Unlock()
-	// The transfer itself only writes maps, but keep the moved sets in a
-	// stable order so any logging or follow-up per-UE work added here stays
-	// replay-deterministic.
-	sort.Slice(movedUEs, func(i, j int) bool { return movedUEs[i].UE < movedUEs[j].UE })
-	sort.Slice(movedBS, func(i, j int) bool { return movedBS[i] < movedBS[j] })
+	movedUEs := src.ue.takeGroup(groupID)
+	movedBS := src.RemoveRadioGroup(groupID)
 
-	dst.ue.mu.Lock()
-	for _, rec := range movedUEs {
-		dst.ue.table[rec.UE] = rec
-	}
+	dst.ue.putAll(movedUEs)
+	adopt := make(map[dataplane.DeviceID]dataplane.DeviceID, len(movedBS))
 	for _, bs := range movedBS {
-		dst.ue.bsGroup[bs] = groupID
+		adopt[bs] = groupID
 	}
-	dst.ue.mu.Unlock()
+	dst.SetRadioIndex(adopt, nil)
 }

@@ -210,20 +210,22 @@ type FlowTable struct {
 func NewFlowTable() *FlowTable { return &FlowTable{} }
 
 // Add installs a rule (copied) and keeps the table sorted by priority desc,
-// then insertion order asc.
+// then insertion order asc. The new rule carries the highest seq, so its
+// slot is directly after the existing rules of priority >= r.Priority — a
+// binary search plus one shift, not a full re-sort (at 100k+ installed
+// rules a per-install sort dominates bearer-setup latency).
 func (t *FlowTable) Add(r Rule) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r.seq = t.nextSeq
 	t.nextSeq++
 	rc := r
-	t.rules = append(t.rules, &rc)
-	sort.SliceStable(t.rules, func(i, j int) bool {
-		if t.rules[i].Priority != t.rules[j].Priority {
-			return t.rules[i].Priority > t.rules[j].Priority
-		}
-		return t.rules[i].seq < t.rules[j].seq
+	i := sort.Search(len(t.rules), func(i int) bool {
+		return t.rules[i].Priority < rc.Priority
 	})
+	t.rules = append(t.rules, nil)
+	copy(t.rules[i+1:], t.rules[i:])
+	t.rules[i] = &rc
 }
 
 // Lookup returns the highest-priority rule matching the packet, or nil.

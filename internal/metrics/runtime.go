@@ -85,6 +85,7 @@ type HistSnapshot struct {
 	Mean  time.Duration
 	P50   time.Duration
 	P95   time.Duration
+	P99   time.Duration
 	Max   time.Duration
 }
 
@@ -98,6 +99,7 @@ func (h *DurationHist) Snapshot() HistSnapshot {
 	s.Mean = time.Duration(h.sum.Load() / s.Count)
 	s.P50 = h.quantile(0.50)
 	s.P95 = h.quantile(0.95)
+	s.P99 = h.quantile(0.99)
 	return s
 }
 
@@ -197,7 +199,7 @@ func WriteRuntime(w io.Writer) {
 	}
 	for _, name := range hnames {
 		s := hists[name].Snapshot()
-		fmt.Fprintf(w, "%s count=%d mean=%v p50=%v p95=%v max=%v\n",
-			name, s.Count, s.Mean, s.P50, s.P95, s.Max)
+		fmt.Fprintf(w, "%s count=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+			name, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
 	}
 }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/interdomain"
+	"repro/internal/reca"
+)
+
+// Region is one leaf region of a generated cluster.
+type Region struct {
+	// Leaf is the region's controller.
+	Leaf *core.Controller
+	// Group is the region's border BS group; border groups are exposed to
+	// the parent under their own ID, so Group doubles as the G-BS ID
+	// inter-region handovers target.
+	Group dataplane.DeviceID
+	// BSes are the base stations camped on Group.
+	BSes []dataplane.DeviceID
+	// Prefix is the region's egress prefix.
+	Prefix interdomain.PrefixID
+	// Attach is the radio attachment port carrying Group.
+	Attach dataplane.PortRef
+}
+
+// Cluster is an N-region deployment the engine drives: diamond regions
+// (access — two middles — egress) joined in a ring, one border group and
+// one egress prefix per region, under a two-level hierarchy.
+type Cluster struct {
+	Net     *dataplane.Network
+	Hier    *core.Hierarchy
+	Regions []Region
+}
+
+// delayDevice emulates the control-channel round trip of a WAN-separated
+// switch: every southbound mutation sleeps controlDelay before reaching
+// the device, so concurrent operations overlap their waits exactly as
+// pipelined controller I/O does (the same model as core's southbound
+// benchmarks, which emulate the delay at the connection layer). The wall
+// clock never feeds replayable state — the sleeps only shape measured
+// throughput.
+type delayDevice struct {
+	core.Device
+	core.RemoteSouthbound // flush concurrently across path devices
+	delay                 time.Duration
+}
+
+func (d delayDevice) InstallRule(r dataplane.Rule) error {
+	time.Sleep(d.delay)
+	return d.Device.InstallRule(r)
+}
+
+func (d delayDevice) RemoveRules(owner string) error {
+	time.Sleep(d.delay)
+	return d.Device.RemoveRules(owner)
+}
+
+func (d delayDevice) RemoveRulesBefore(owner string, version int) error {
+	time.Sleep(d.delay)
+	return d.Device.RemoveRulesBefore(owner, version)
+}
+
+func (d delayDevice) RemoveRulesVersion(owner string, version int) error {
+	time.Sleep(d.delay)
+	return d.Device.RemoveRulesVersion(owner, version)
+}
+
+// BuildCluster constructs the R-region ring with bsPerRegion base
+// stations per region and the given UE-store shard count on every
+// controller (0 keeps core.DefaultUEShards; 1 is the coarse single-mutex
+// baseline). controlDelay > 0 wraps every leaf's physical switches in a
+// delayDevice emulating controller↔switch WAN latency. Construction is
+// deterministic — no RNG is consumed.
+func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) (*Cluster, error) {
+	if regions < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
+	}
+	if bsPerRegion < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 BS per region, got %d", bsPerRegion)
+	}
+	net := dataplane.NewNetwork()
+	cl := &Cluster{Net: net}
+	specs := make([]core.LeafSpec, 0, regions)
+	egresses := make([]*dataplane.EgressPoint, 0, regions)
+	for k := 0; k < regions; k++ {
+		a := dataplane.DeviceID(fmt.Sprintf("A%d", k))
+		ma := dataplane.DeviceID(fmt.Sprintf("M%da", k))
+		mb := dataplane.DeviceID(fmt.Sprintf("M%db", k))
+		e := dataplane.DeviceID(fmt.Sprintf("E%d", k))
+		for _, id := range []dataplane.DeviceID{a, ma, mb, e} {
+			net.AddSwitch(id)
+		}
+		for _, c := range []struct {
+			x, y dataplane.DeviceID
+			lat  time.Duration
+		}{{a, ma, 2 * time.Millisecond}, {a, mb, 3 * time.Millisecond},
+			{ma, e, 2 * time.Millisecond}, {mb, e, 3 * time.Millisecond}} {
+			if _, err := net.Connect(c.x, c.y, c.lat, 10_000); err != nil {
+				return nil, err
+			}
+		}
+		g := dataplane.DeviceID(fmt.Sprintf("g%d", k))
+		rp, err := net.AddRadioPort(a, g)
+		if err != nil {
+			return nil, err
+		}
+		ep, err := net.AddEgress(fmt.Sprintf("X%d", k), e, fmt.Sprintf("isp%d", k))
+		if err != nil {
+			return nil, err
+		}
+		attach := dataplane.PortRef{Dev: a, Port: rp.ID}
+		bses := make([]dataplane.DeviceID, bsPerRegion)
+		bsGroup := make(map[dataplane.DeviceID]dataplane.DeviceID, bsPerRegion)
+		for j := range bses {
+			bses[j] = dataplane.DeviceID(fmt.Sprintf("b%d-%d", k, j))
+			bsGroup[bses[j]] = g
+		}
+		cl.Regions = append(cl.Regions, Region{
+			Group:  g,
+			BSes:   bses,
+			Prefix: interdomain.PrefixID(fmt.Sprintf("pfx%d", k)),
+			Attach: attach,
+		})
+		specs = append(specs, core.LeafSpec{
+			ID:       fmt.Sprintf("L%d", k),
+			Switches: []dataplane.DeviceID{a, ma, mb, e},
+			Radios:   []reca.RadioAttachment{{ID: g, Attach: attach, Border: true}},
+			BSGroup:  bsGroup,
+		})
+		egresses = append(egresses, ep)
+	}
+	// Ring of cross-region links: E(k) — A(k+1 mod R).
+	for k := 0; k < regions; k++ {
+		e := dataplane.DeviceID(fmt.Sprintf("E%d", k))
+		a := dataplane.DeviceID(fmt.Sprintf("A%d", (k+1)%regions))
+		if _, err := net.Connect(e, a, 4*time.Millisecond, 10_000); err != nil {
+			return nil, err
+		}
+	}
+
+	hier, err := core.NewTwoLevel(net, "root", specs)
+	if err != nil {
+		return nil, err
+	}
+	cl.Hier = hier
+	if shards != 0 {
+		for _, c := range hier.All {
+			c.SetUEShardCount(shards)
+		}
+	}
+	if controlDelay > 0 {
+		// Shadow each leaf's physical switch adapters with the delay
+		// wrapper; the inner device stays attached underneath, so the
+		// controller back-pointer (packet-in, port-status delivery) keeps
+		// pointing at the real adapter (the chaos harness wraps its
+		// FaultyDevice the same way).
+		for _, leaf := range hier.Leaves {
+			for _, d := range leaf.Devices() {
+				if net.Switch(d.ID()) == nil {
+					continue // G-switch or other virtual device
+				}
+				leaf.AttachDevice(delayDevice{Device: d, delay: controlDelay})
+			}
+		}
+	}
+	// Interdomain: each region's prefix exits via its own egress.
+	for k := range cl.Regions {
+		r := &cl.Regions[k]
+		r.Leaf = hier.Leaves[k]
+		ep := egresses[k]
+		r.Leaf.AddInterdomainRoutes([]interdomain.Route{{
+			Prefix: r.Prefix, Egress: ep.ID, EgressSwitch: ep.Switch,
+			Metrics: interdomain.Metrics{Hops: 2, RTT: 8 * time.Millisecond},
+		}}, dataplane.PortRef{Dev: ep.Switch, Port: ep.Port})
+		r.Leaf.PropagateInterdomain()
+	}
+	return cl, nil
+}

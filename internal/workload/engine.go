@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Mode selects how the engine paces the schedule.
+type Mode string
+
+const (
+	// ModeClosed lets every lane issue its next operation the moment the
+	// previous one completes — the throughput-probe mode.
+	ModeClosed Mode = "closed"
+	// ModeOpen admits operations at a target arrival rate under a bounded
+	// in-flight window, counting backpressure stalls.
+	ModeOpen Mode = "open"
+)
+
+// Config parameterizes one workload run. The zero value is not usable;
+// normalize fills defaults and validates.
+type Config struct {
+	Seed        int64
+	Regions     int
+	BSPerRegion int
+	UEs         int
+	Events      int
+	// Shards is the UE-store shard count applied to every controller
+	// (0 = core.DefaultUEShards, 1 = coarse single-mutex baseline).
+	Shards int
+	Mode   Mode
+	// Workers is the number of execution lanes. Operations are keyed to
+	// lanes by UE, so same-UE operations execute in schedule order while
+	// distinct UEs proceed in parallel.
+	Workers int
+	// MaxInFlight bounds admitted-but-unfinished operations in open-loop
+	// mode (the admission window). Ignored in closed-loop mode.
+	MaxInFlight int
+	// RatePerSec is the open-loop target arrival rate; 0 means admit as
+	// fast as the window allows.
+	RatePerSec float64
+	Mix        Mix
+	// BSWeights optionally skews attach/handover targets per BS
+	// (region-major, length Regions*BSPerRegion); nil means uniform.
+	BSWeights []float64
+	// RemotePrefixShare is the probability an attach targets a uniformly
+	// random region's prefix instead of the serving region's own — the
+	// knob that exercises cross-region transit paths.
+	RemotePrefixShare float64
+	// ControlDelay emulates the controller↔switch WAN round trip on every
+	// southbound mutation (0 = in-process, no delay). With a nonzero
+	// delay, operations are I/O-bound and throughput scaling comes from
+	// overlapping waits across concurrent UEs — the regime the sharded UE
+	// store exists for.
+	ControlDelay time.Duration
+}
+
+// normalize applies defaults in place and validates the config.
+func (c *Config) normalize() error {
+	if c.Regions < 2 {
+		return fmt.Errorf("workload: need at least 2 regions, got %d", c.Regions)
+	}
+	if c.BSPerRegion < 1 {
+		c.BSPerRegion = 1
+	}
+	if c.UEs < 1 {
+		return fmt.Errorf("workload: need at least 1 UE, got %d", c.UEs)
+	}
+	if c.Events < 1 {
+		return fmt.Errorf("workload: need at least 1 event, got %d", c.Events)
+	}
+	if c.Mode == "" {
+		c.Mode = ModeClosed
+	}
+	if c.Mode != ModeClosed && c.Mode != ModeOpen {
+		return fmt.Errorf("workload: unknown mode %q", c.Mode)
+	}
+	if c.Workers < 1 {
+		// Lanes are I/O-bound whenever ControlDelay is set (each op sleeps
+		// through its southbound round trips), so the useful lane count is
+		// well above the core count.
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+		if c.Workers < 8 {
+			c.Workers = 8
+		}
+	}
+	if c.MaxInFlight < 1 {
+		c.MaxInFlight = 4 * c.Workers
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = DefaultMix()
+	}
+	return nil
+}
+
+// OpStats summarizes one operation kind over a run.
+type OpStats struct {
+	Count    int64         `json:"count"`
+	Failures int64         `json:"failures"`
+	Mean     time.Duration `json:"mean_ns"`
+	P50      time.Duration `json:"p50_ns"`
+	P99      time.Duration `json:"p99_ns"`
+	Max      time.Duration `json:"max_ns"`
+}
+
+// Result is the outcome of one Engine.Run.
+type Result struct {
+	// Ops is the executed schedule, in generation order.
+	Ops []Op
+	// Elapsed is the wall-clock execution time (generation excluded).
+	Elapsed time.Duration
+	// Stalls counts open-loop admissions that found the in-flight window
+	// full and had to wait (backpressure events).
+	Stalls int64
+	// Failures is the total failed operations; FirstErr retains one
+	// representative error for diagnostics.
+	Failures int64
+	FirstErr error
+	// PerOp maps kind → stats, keyed by OpKind.String().
+	PerOp map[string]OpStats
+}
+
+// EventsPerSec is the sustained execution rate.
+func (r *Result) EventsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Ops)) / r.Elapsed.Seconds()
+}
+
+// Engine executes a generated schedule against a cluster.
+type Engine struct {
+	cfg Config
+	cl  *Cluster
+
+	// Latency histograms are per-engine instances (not the process-global
+	// metrics registry) so repeated runs in one process don't pollute each
+	// other — cmd/loadgen runs baseline and sharded passes back to back.
+	hists    [numOpKinds]metrics.DurationHist
+	fails    [numOpKinds]atomic.Int64
+	stalls   atomic.Int64
+	firstErr atomic.Pointer[opError]
+	// tokens is the open-loop in-flight window: buffered to MaxInFlight,
+	// one send per admission, one receive per completion.
+	tokens chan struct{}
+}
+
+type opError struct {
+	op  Op
+	err error
+}
+
+// NewEngine validates the config, builds the cluster, and prepares the
+// engine. The caller reads cluster state (digests, invariants) after Run.
+func NewEngine(cfg Config) (*Engine, *Cluster, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, nil, err
+	}
+	cl, err := BuildCluster(cfg.Regions, cfg.BSPerRegion, cfg.Shards, cfg.ControlDelay)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Engine{cfg: cfg, cl: cl}, cl, nil
+}
+
+// wallClock reads the wall clock for latency measurement only; nothing
+// replayable (schedule, UE state, digests) depends on the value.
+func wallClock() time.Time {
+	return time.Now() //softmow:allow determinism latency measurement only, never feeds replayable state
+}
+
+// Run generates the schedule and executes it, returning measurements.
+// The schedule and the final logical UE-table state depend only on
+// (seed, config); timings and stall counts are measurements.
+func (e *Engine) Run() *Result {
+	ops := NewGenerator(e.cfg).Generate()
+	start := wallClock()
+	if e.cfg.Mode == ModeClosed {
+		e.runClosed(ops)
+	} else {
+		e.runOpen(ops)
+	}
+	elapsed := wallClock().Sub(start)
+
+	res := &Result{
+		Ops:     ops,
+		Elapsed: elapsed,
+		Stalls:  e.stalls.Load(),
+		PerOp:   make(map[string]OpStats, numOpKinds),
+	}
+	for _, k := range OpKinds() {
+		s := e.hists[k].Snapshot()
+		res.Failures += e.fails[k].Load()
+		if s.Count == 0 && e.fails[k].Load() == 0 {
+			continue
+		}
+		res.PerOp[k.String()] = OpStats{
+			Count:    s.Count,
+			Failures: e.fails[k].Load(),
+			Mean:     s.Mean,
+			P50:      s.P50,
+			P99:      s.P99,
+			Max:      s.Max,
+		}
+	}
+	if fe := e.firstErr.Load(); fe != nil {
+		res.FirstErr = fmt.Errorf("op %d (%s ue%07d): %w", fe.op.Seq, fe.op.Kind, fe.op.UE, fe.err)
+	}
+	return res
+}
+
+// lane keys an op to its execution lane; same UE, same lane, so per-UE
+// schedule order is preserved without per-op coordination.
+func (e *Engine) lane(op Op) int { return op.UE % e.cfg.Workers }
+
+// runClosed partitions the schedule into per-lane slices and drains them
+// concurrently, each lane as fast as its operations complete.
+func (e *Engine) runClosed(ops []Op) {
+	lanes := make([][]Op, e.cfg.Workers)
+	for _, op := range ops {
+		l := e.lane(op)
+		lanes[l] = append(lanes[l], op)
+	}
+	var wg sync.WaitGroup
+	for _, lane := range lanes {
+		if len(lane) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(lane []Op) {
+			defer wg.Done()
+			for _, op := range lane {
+				e.execTimed(op)
+			}
+		}(lane)
+	}
+	wg.Wait()
+}
+
+// runOpen admits the schedule in order: each op waits for its paced
+// arrival time (if RatePerSec > 0) and an in-flight token, then is handed
+// to its lane. Lane channels are sized to the window, so the token pool is
+// the only admission bound.
+func (e *Engine) runOpen(ops []Op) {
+	e.tokens = make(chan struct{}, e.cfg.MaxInFlight)
+	chans := make([]chan Op, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range chans {
+		chans[i] = make(chan Op, e.cfg.MaxInFlight)
+		wg.Add(1)
+		go func(ch chan Op) {
+			defer wg.Done()
+			for op := range ch {
+				e.execTimed(op)
+				<-e.tokens
+			}
+		}(chans[i])
+	}
+	start := wallClock()
+	for _, op := range ops {
+		if e.cfg.RatePerSec > 0 {
+			due := start.Add(time.Duration(float64(op.Seq) / e.cfg.RatePerSec * float64(time.Second)))
+			if d := due.Sub(wallClock()); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		select {
+		case e.tokens <- struct{}{}:
+		default:
+			// Window full: the network is slower than the offered load.
+			e.stalls.Add(1)
+			e.tokens <- struct{}{}
+		}
+		chans[e.lane(op)] <- op
+	}
+	for _, ch := range chans {
+		close(ch)
+	}
+	wg.Wait()
+}
+
+// execTimed runs one op and records its latency and outcome.
+func (e *Engine) execTimed(op Op) {
+	t0 := wallClock()
+	err := e.exec(op)
+	e.hists[op.Kind].Observe(wallClock().Sub(t0))
+	if err != nil {
+		e.fails[op.Kind].Add(1)
+		e.firstErr.CompareAndSwap(nil, &opError{op: op, err: err})
+	}
+}
+
+// exec dispatches one op to the UE's serving leaf.
+func (e *Engine) exec(op Op) error {
+	r := &e.cl.Regions[op.Region]
+	ue := UEName(op.UE)
+	switch op.Kind {
+	case OpAttach, OpBearerSetup:
+		_, err := r.Leaf.HandleBearerRequest(core.BearerRequest{
+			UE: ue, BS: r.BSes[op.BS],
+			Prefix: e.cl.Regions[op.Prefix].Prefix, QoS: 1,
+		})
+		return err
+	case OpBearerTeardown:
+		return r.Leaf.DeactivateBearer(ue)
+	case OpHandoverIntra:
+		return r.Leaf.Handover(ue, r.Group, r.BSes[op.BS])
+	case OpHandoverInter:
+		d := &e.cl.Regions[op.Dst]
+		return r.Leaf.Handover(ue, d.Group, d.BSes[op.DstBS])
+	case OpDetach:
+		return r.Leaf.Detach(ue)
+	default:
+		return fmt.Errorf("workload: unknown op kind %d", op.Kind)
+	}
+}

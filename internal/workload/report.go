@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/core"
+)
+
+// TraceDigest hashes the replayable event schedule: FNV-64a over every
+// op's trace line. Two runs with the same seed and config must produce
+// identical digests regardless of worker count or mode.
+func TraceDigest(ops []Op) string {
+	h := fnv.New64a()
+	for _, op := range ops {
+		fmt.Fprintln(h, op.TraceLine())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// StateDigest hashes the final logical UE-table state across every
+// controller in the cluster: per controller (root first, then leaves in
+// region order), each UE row's seed-determined fields — UE, BS, Group,
+// Prefix, QoS, Active. PathID and HandledBy are deliberately excluded:
+// path identifiers depend on the interleaving of concurrent setups, while
+// the logical table state does not.
+func StateDigest(cl *Cluster) string {
+	h := fnv.New64a()
+	write := func(c *core.Controller) {
+		fmt.Fprintf(h, "# %s\n", c.ID)
+		for _, r := range c.UERecords() { // sorted by UE ID
+			fmt.Fprintf(h, "%s %s %s %s %d %t\n", r.UE, r.BS, r.Group, r.Prefix, r.QoS, r.Active)
+		}
+	}
+	write(cl.Hier.Root)
+	for _, leaf := range cl.Hier.Leaves {
+		write(leaf)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FinalUECount sums UE-table rows across every controller.
+func FinalUECount(cl *Cluster) int {
+	n := cl.Hier.Root.UECount()
+	for _, leaf := range cl.Hier.Leaves {
+		n += leaf.UECount()
+	}
+	return n
+}
+
+// BaselineComparison is the sharded-versus-coarse throughput comparison
+// cmd/loadgen -compare emits (the ISSUE's ≥2× acceptance check).
+type BaselineComparison struct {
+	BaselineShards int     `json:"baseline_shards"`
+	ShardedShards  int     `json:"sharded_shards"`
+	BaselineEPS    float64 `json:"baseline_events_per_sec"`
+	ShardedEPS     float64 `json:"sharded_events_per_sec"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// ReportConfig is the config echo embedded in a report.
+type ReportConfig struct {
+	Seed        int64   `json:"seed"`
+	Regions     int     `json:"regions"`
+	BSPerRegion int     `json:"bs_per_region"`
+	UEs         int     `json:"ues"`
+	Events      int     `json:"events"`
+	Shards      int     `json:"shards"`
+	Mode        string  `json:"mode"`
+	Workers     int     `json:"workers"`
+	MaxInFlight int     `json:"max_in_flight"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+}
+
+// Report is the BENCH_workload.json document.
+type Report struct {
+	Config       ReportConfig        `json:"config"`
+	Events       int                 `json:"events"`
+	Failures     int64               `json:"failures"`
+	ElapsedSec   float64             `json:"elapsed_sec"`
+	EventsPerSec float64             `json:"events_per_sec"`
+	Stalls       int64               `json:"stalls"`
+	Ops          map[string]OpStats  `json:"ops"`
+	TraceDigest  string              `json:"trace_digest"`
+	StateDigest  string              `json:"state_digest"`
+	FinalUEs     int                 `json:"final_ues"`
+	Baseline     *BaselineComparison `json:"baseline,omitempty"`
+}
+
+// BuildReport assembles the report for one finished run.
+func BuildReport(cfg Config, cl *Cluster, res *Result) *Report {
+	if err := cfg.normalize(); err != nil {
+		// Run already succeeded with this config; normalize cannot fail now.
+		panic(err)
+	}
+	return &Report{
+		Config: ReportConfig{
+			Seed: cfg.Seed, Regions: cfg.Regions, BSPerRegion: cfg.BSPerRegion,
+			UEs: cfg.UEs, Events: cfg.Events, Shards: cfg.Shards,
+			Mode: string(cfg.Mode), Workers: cfg.Workers,
+			MaxInFlight: cfg.MaxInFlight, RatePerSec: cfg.RatePerSec,
+		},
+		Events:       len(res.Ops),
+		Failures:     res.Failures,
+		ElapsedSec:   res.Elapsed.Seconds(),
+		EventsPerSec: res.EventsPerSec(),
+		Stalls:       res.Stalls,
+		Ops:          res.PerOp,
+		TraceDigest:  TraceDigest(res.Ops),
+		StateDigest:  StateDigest(cl),
+		FinalUEs:     FinalUECount(cl),
+	}
+}
