@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-workload docs-check lint
+.PHONY: build test vet race chaos check bench bench-workload docs-check lint fuzz
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,13 @@ docs-check:
 # over ./internal/... and ./cmd/... (see DESIGN.md "Enforced invariants").
 lint:
 	$(GO) run ./cmd/softmowlint
+
+# Fuzz the southbound binary frame decoder (seed corpus committed under
+# internal/southbound/testdata/fuzz). CI runs the same invocation; raise
+# FUZZTIME for longer local campaigns.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/southbound -run '^$$' -fuzz FuzzFrameDecode -fuzztime $(FUZZTIME)
 
 check: vet race docs-check lint
 

@@ -48,7 +48,7 @@ func realMain() int {
 		rate      = flag.Float64("rate", 0, "open-loop target events/sec (0 = window-limited)")
 		lteMinute = flag.Int("lte-minute", -1, "derive the op mix from the ltetrace diurnal model at this minute of day (-1 = default mix)")
 		remote    = flag.Float64("remote-share", 0.2, "probability an attach targets another region's prefix")
-		ctrlDelay = flag.Duration("control-delay", 200*time.Microsecond, "emulated controller-switch WAN round trip per southbound mutation (0 = in-process)")
+		ctrlDelay = flag.Duration("control-delay", 200*time.Microsecond, "emulated controller-switch propagation delay; switches attach over the real southbound protocol with replies held back this long (0 = direct in-process devices)")
 		out       = flag.String("out", "BENCH_workload.json", "report path")
 		trace     = flag.String("trace", "", "also write the replayable event trace to this path")
 		compare   = flag.Bool("compare", false, "run a bearer-heavy pass at -shards 1 and again at -shards, report the speedup")

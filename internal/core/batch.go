@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dataplane"
 	"repro/internal/metrics"
+	"repro/internal/southbound"
 )
 
 // Southbound rule-programming observability. Batches and barriers count
@@ -91,6 +92,62 @@ func (b *ruleBatch) add(dev dataplane.DeviceID, r dataplane.Rule) {
 	b.size++
 }
 
+// asyncInstaller is the optional Device extension for pipelined batch
+// installs: the device enqueues the batch, fences it with a barrier-ID
+// completion, and invokes the callback when the fence resolves. The
+// callback runs on the device's receive or deadline goroutine and must
+// not block.
+type asyncInstaller interface {
+	tryInstallRulesAsync(rules []dataplane.Rule, cb func(error)) bool
+}
+
+// asyncRemover is the delete-side counterpart of asyncInstaller, used for
+// teardown and rollback fan-out.
+type asyncRemover interface {
+	tryRemoveRulesAsync(cmd southbound.FlowModCommand, owner string, version int, cb func(error)) bool
+}
+
+// fanPerDevice overlaps one action per device. Devices capable of
+// asynchronous completion (ConnDevice) have their modifications and
+// fences issued back to back and joined at the end, so N remote devices
+// cost roughly one wire round trip of wall time — with no goroutine
+// hand-off per device. Devices without the capability run through
+// runPerDevice (concurrent for remote devices, serial otherwise). First
+// error wins, and every device is always visited.
+func (c *Controller) fanPerDevice(devs []Device, tryAsync func(Device, func(error)) bool, syncF func(Device) error) error {
+	if c.SerialSouthbound || len(devs) == 0 {
+		return c.runPerDevice(devs, syncF)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	}
+	var syncDevs []Device
+	for _, d := range devs {
+		wg.Add(1)
+		if tryAsync(d, func(err error) { record(err); wg.Done() }) {
+			continue
+		}
+		wg.Done()
+		syncDevs = append(syncDevs, d)
+	}
+	if len(syncDevs) > 0 {
+		record(c.runPerDevice(syncDevs, syncF))
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // runPerDevice applies f to every device, concurrently when the set
 // contains a remote device (and the controller is not forced serial),
 // first error wins. Serial runs visit devices in slice order and stop at
@@ -165,18 +222,25 @@ func (c *Controller) flushBatch(b *ruleBatch, owner string, version int) error {
 	c.mu.Lock()
 	c.stats.RulesInstalled += b.size
 	c.mu.Unlock()
-	err := c.runPerDevice(devs, func(d Device) error {
-		return installRules(d, b.rules[d.ID()])
-	})
+	err := c.fanPerDevice(devs,
+		func(d Device, cb func(error)) bool {
+			ai, ok := d.(asyncInstaller)
+			return ok && ai.tryInstallRulesAsync(b.rules[d.ID()], cb)
+		},
+		func(d Device) error { return installRules(d, b.rules[d.ID()]) })
 	if err != nil {
 		flushRollbacks.Inc()
 		// The install error is what the caller acts on; the scrub is
 		// best-effort and idempotent (version filters match nothing once
-		// removed), so its own error carries no extra signal.
+		// removed), so its own error carries no extra signal. It stays
+		// version-exact: only the batches this flush fenced are removed.
 		//softmow:allow errdiscard rollback is best-effort, the install error propagates
-		_ = c.runPerDevice(devs, func(d Device) error {
-			return d.RemoveRulesVersion(owner, version)
-		})
+		_ = c.fanPerDevice(devs,
+			func(d Device, cb func(error)) bool {
+				ar, ok := d.(asyncRemover)
+				return ok && ar.tryRemoveRulesAsync(southbound.FlowDeleteOwnerVersion, owner, version, cb)
+			},
+			func(d Device) error { return d.RemoveRulesVersion(owner, version) })
 		return err
 	}
 	flushLatency.Observe(time.Since(start))

@@ -385,10 +385,11 @@ func (c delayedConn) Send(m southbound.Msg) error {
 	return c.Conn.Send(m)
 }
 
-// benchConnFixture builds a four-switch chain controlled over real gob/TCP
-// southbound connections with emulated control-channel latency, so bearer
-// setup pays genuine per-message round-trip costs. perRule disables
-// batching and forces serial device order — the pre-batching baseline.
+// benchConnFixture builds a four-switch chain controlled over real
+// binary-framed TCP southbound connections with emulated control-channel
+// latency, so bearer setup pays genuine per-message round-trip costs.
+// perRule disables batching and forces serial device order — the
+// pre-batching baseline.
 func benchConnFixture(b *testing.B, perRule bool) *Controller {
 	b.Helper()
 	southbound.RegisterGobTypes(&discovery.Frame{})
@@ -418,13 +419,13 @@ func benchConnFixture(b *testing.B, perRule bool) *Controller {
 			if err != nil {
 				return
 			}
-			agent.Serve(delayedConn{Conn: southbound.NewGobConn(nc)})
+			agent.Serve(delayedConn{Conn: southbound.NewBinConn(nc)})
 		}()
 		nc, err := stdnet.Dial("tcp", ln.Addr().String())
 		if err != nil {
 			b.Fatal(err)
 		}
-		dev, err := DialDevice(southbound.NewGobConn(nc), ctrl.ID)
+		dev, err := DialDevice(southbound.NewBinConn(nc), ctrl.ID)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -469,11 +470,11 @@ func benchBearerSetupConn(b *testing.B, perRule bool) {
 	}
 }
 
-// BenchmarkBearerSetupConn measures bearer admission over real gob/TCP
-// southbound sessions. "batched" pipelines each switch's FlowMods behind a
-// single barrier and fans switches out concurrently; "perrule" is the
-// pre-batching baseline (one synchronous round trip per rule, switches
-// programmed serially).
+// BenchmarkBearerSetupConn measures bearer admission over real
+// binary-framed TCP southbound sessions. "batched" pipelines each
+// switch's FlowMods behind a single asynchronously-completed barrier and
+// fans switches out concurrently; "perrule" is the pre-batching baseline
+// (one synchronous round trip per rule, switches programmed serially).
 func BenchmarkBearerSetupConn(b *testing.B) {
 	b.Run("batched", func(b *testing.B) { benchBearerSetupConn(b, false) })
 	b.Run("perrule", func(b *testing.B) { benchBearerSetupConn(b, true) })

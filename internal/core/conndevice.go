@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -17,11 +16,16 @@ import (
 // prototype where "leaf controllers use the OpenFlow protocol to
 // communicate with switches" (§7.1). It pairs with
 // southbound.SwitchAgent.Serve on the device side and works over both
-// in-process pipes and gob/TCP connections.
+// in-process pipes and binary- or gob-framed TCP connections.
 //
 // A pump goroutine dispatches asynchronous events (Packet-In, Port-Status)
-// to the owning controller and routes replies to waiting synchronous
-// requests by transaction ID.
+// to the owning controller and routes replies by transaction ID. Fences
+// are asynchronous completions: each outstanding barrier lives in a table
+// keyed by its current barrier xid, and its callback fires when the reply
+// arrives, when the retry budget is exhausted, or when the connection
+// dies. The synchronous Device methods are thin waits over that table, so
+// callers that can overlap fences (the batch pipeline) share the conn with
+// callers that cannot.
 type ConnDevice struct {
 	id   dataplane.DeviceID
 	conn southbound.Conn
@@ -29,8 +33,22 @@ type ConnDevice struct {
 	mu sync.Mutex
 	// ctrl is the attached controller, guarded by mu.
 	ctrl *Controller
-	// pending maps in-flight request xids to reply channels, guarded by mu.
+	// pending maps synchronous request xids (features, roles, explicit
+	// barriers) to reply channels, guarded by mu.
 	pending map[uint32]chan southbound.Msg
+	// mods maps fenced modification xids to the device's error reply, if
+	// one arrived (nil until then), guarded by mu. Entries are consumed
+	// when the covering fence completes.
+	mods map[uint32]error
+	// barriers maps each outstanding fence's CURRENT barrier xid to its
+	// completion, guarded by mu. A timed-out attempt re-keys the
+	// completion under a fresh xid, so a stale reply to the old xid finds
+	// nothing to satisfy — it cannot complete a newer fence.
+	barriers map[uint32]*barrierComp
+	// dl is the fence deadline queue in FIFO order (deadlines are
+	// monotonic because every fence uses the same RequestTimeout),
+	// guarded by mu.
+	dl []dlEntry
 	// closed records connection teardown, guarded by mu.
 	closed bool
 	// backlog holds events that arrived during the feature handshake,
@@ -38,9 +56,16 @@ type ConnDevice struct {
 	// guarded by mu.
 	backlog []southbound.Msg
 
+	// dlKick wakes the deadline loop after an append to an empty queue.
+	dlKick chan struct{}
+	// done is closed on teardown to stop the deadline loop.
+	done     chan struct{}
+	doneOnce sync.Once
+
 	xid atomic.Uint32
 
-	// RequestTimeout bounds synchronous request round-trips.
+	// RequestTimeout bounds synchronous request round-trips and each fence
+	// attempt.
 	RequestTimeout time.Duration
 	// BarrierRetries is how many extra barrier attempts a fence makes after
 	// a timeout before the operation is reported failed (each attempt is
@@ -53,8 +78,28 @@ type ConnDevice struct {
 	DisableBatch bool
 }
 
+// barrierComp is one outstanding fence: the callback to fire exactly once,
+// the modification xid the fence covers, and the retry budget consumed.
+type barrierComp struct {
+	cb       func(error)
+	modXid   uint32
+	attempts int
+}
+
+// dlEntry is one scheduled fence timeout. xid snapshots the barrier xid
+// the entry was armed for: after a re-key, the old entry's xid no longer
+// maps to comp in the barrier table and the entry is ignored.
+type dlEntry struct {
+	comp *barrierComp
+	xid  uint32
+	at   time.Time
+}
+
 // DialDevice completes the Hello handshake as controllerID and returns a
-// running ConnDevice for the switch at the far end.
+// running ConnDevice for the switch at the far end. On connections that
+// support write deadlines (the binary codec), each Send is bounded by the
+// device's RequestTimeout so a stalled peer fails fast instead of wedging
+// the conn.
 func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) {
 	if err := southbound.Handshake(conn, controllerID); err != nil {
 		return nil, err
@@ -62,8 +107,15 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 	d := &ConnDevice{
 		conn:           conn,
 		pending:        make(map[uint32]chan southbound.Msg),
+		mods:           make(map[uint32]error),
+		barriers:       make(map[uint32]*barrierComp),
+		dlKick:         make(chan struct{}, 1),
+		done:           make(chan struct{}),
 		RequestTimeout: 5 * time.Second,
 		BarrierRetries: 2,
+	}
+	if wd, ok := conn.(southbound.WriteDeadliner); ok {
+		wd.SetWriteTimeout(d.RequestTimeout)
 	}
 	// Learn the device ID via an initial feature request, synchronously,
 	// before the pump starts (no concurrent readers yet).
@@ -93,6 +145,7 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 		}
 	}
 	go d.pump()
+	go d.deadlineLoop()
 	return d, nil
 }
 
@@ -116,20 +169,52 @@ func (d *ConnDevice) controller() *Controller {
 	return d.ctrl
 }
 
-// Close tears down the connection and fails pending requests.
+// Close tears down the connection, fails pending requests, and completes
+// every outstanding fence with ErrClosed.
 func (d *ConnDevice) Close() error {
-	d.mu.Lock()
-	d.closed = true
-	pend := d.pending
-	d.pending = make(map[uint32]chan southbound.Msg)
-	d.mu.Unlock()
-	for _, ch := range pend {
-		close(ch)
-	}
+	d.failAll()
 	return d.conn.Close()
 }
 
+// failAll marks the device closed and fails everything outstanding:
+// pending sync requests, fenced modifications, and barrier completions.
+// Idempotent; shared by Close and the pump's connection-death path, so a
+// device that dies mid-operation unwedges its callers immediately instead
+// of leaving them to time out through the retry budget.
+func (d *ConnDevice) failAll() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	pend := d.pending
+	d.pending = make(map[uint32]chan southbound.Msg)
+	comps := make([]*barrierComp, 0, len(d.barriers))
+	//softmow:allow determinism every completion gets the same ErrClosed and callbacks are mutually independent, so collection order is not replay-visible
+	for _, comp := range d.barriers {
+		comps = append(comps, comp)
+	}
+	d.barriers = make(map[uint32]*barrierComp)
+	d.mods = make(map[uint32]error)
+	d.dl = nil
+	d.mu.Unlock()
+	d.doneOnce.Do(func() { close(d.done) })
+	for _, ch := range pend {
+		close(ch)
+	}
+	// Map order is fine here: every completion gets the same ErrClosed and
+	// callbacks are independent of each other.
+	for _, comp := range comps {
+		comp.cb(southbound.ErrClosed)
+	}
+}
+
 func (d *ConnDevice) pump() {
+	// A dead connection fails all outstanding work: retrying fences into a
+	// closed conn cannot succeed and would stall rollback of the other
+	// path devices behind BarrierRetries×RequestTimeout of dead air.
+	defer d.failAll()
 	for {
 		m, err := d.conn.Recv()
 		if err != nil {
@@ -138,6 +223,28 @@ func (d *ConnDevice) pump() {
 		// Reply routing.
 		if m.Xid != 0 {
 			d.mu.Lock()
+			// Outstanding fence? Only a reply carrying the fence's CURRENT
+			// barrier xid completes it; replies to timed-out attempts fall
+			// through every table and are dropped below.
+			if comp, ok := d.barriers[m.Xid]; ok {
+				delete(d.barriers, m.Xid)
+				ferr := d.takeModErrLocked(comp)
+				d.mu.Unlock()
+				if m.Type == southbound.TypeError && ferr == nil {
+					ferr = d.errorFrom(m)
+				}
+				comp.cb(ferr)
+				continue
+			}
+			// Fenced modification? Stash its error for the covering fence.
+			//softmow:allow errdiscard presence probe only; the stored error is consumed at fence completion
+			if _, ok := d.mods[m.Xid]; ok {
+				if m.Type == southbound.TypeError {
+					d.mods[m.Xid] = d.modRefused(m)
+				}
+				d.mu.Unlock()
+				continue
+			}
 			ch, ok := d.pending[m.Xid]
 			if ok {
 				delete(d.pending, m.Xid)
@@ -147,6 +254,9 @@ func (d *ConnDevice) pump() {
 				ch <- m
 				continue
 			}
+			if m.Type != southbound.TypePacketIn && m.Type != southbound.TypePortStatus {
+				continue // stale reply (e.g. a barrier answered after its fence expired)
+			}
 		}
 		// Event dispatch.
 		c := d.controller()
@@ -155,6 +265,28 @@ func (d *ConnDevice) pump() {
 		}
 		d.dispatchEvent(c, m)
 	}
+}
+
+// takeModErrLocked consumes the error recorded for the fence's
+// modification; caller holds mu.
+func (d *ConnDevice) takeModErrLocked(comp *barrierComp) error {
+	err := d.mods[comp.modXid]
+	delete(d.mods, comp.modXid)
+	return err
+}
+
+func (d *ConnDevice) modRefused(m southbound.Msg) error {
+	if e, ok := m.Body.(southbound.Error); ok {
+		return fmt.Errorf("core: device %s refused modification: %s (code %d)", d.id, e.Message, e.Code)
+	}
+	return fmt.Errorf("core: device %s refused modification", d.id)
+}
+
+func (d *ConnDevice) errorFrom(m southbound.Msg) error {
+	if e, ok := m.Body.(southbound.Error); ok {
+		return fmt.Errorf("core: device %s: %s (code %d)", d.id, e.Message, e.Code)
+	}
+	return fmt.Errorf("core: device %s returned an error", d.id)
 }
 
 // dispatchEvent hands one asynchronous device event (Packet-In or
@@ -183,6 +315,31 @@ func (d *ConnDevice) dispatchEvent(c *Controller, m southbound.Msg) {
 	}
 }
 
+// timerPool recycles request timers so each synchronous round trip stops
+// and reuses its timer instead of leaking a live RequestTimeout-long timer
+// into the runtime per call (the cost of the old time.After pattern at 10×
+// event rates).
+var timerPool sync.Pool
+
+func getTimer(dur time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		t := v.(*time.Timer)
+		t.Reset(dur)
+		return t
+	}
+	return time.NewTimer(dur)
+}
+
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 // request performs one synchronous round-trip.
 func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 	connSyncRoundTrips.Inc()
@@ -202,19 +359,18 @@ func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 		d.mu.Unlock()
 		return southbound.Msg{}, err
 	}
+	t := getTimer(d.RequestTimeout)
+	defer putTimer(t)
 	select {
 	case reply, ok := <-ch:
 		if !ok {
 			return southbound.Msg{}, southbound.ErrClosed
 		}
 		if reply.Type == southbound.TypeError {
-			if e, ok := reply.Body.(southbound.Error); ok {
-				return reply, fmt.Errorf("core: device %s: %s (code %d)", d.id, e.Message, e.Code)
-			}
-			return reply, fmt.Errorf("core: device %s returned an error", d.id)
+			return reply, d.errorFrom(reply)
 		}
 		return reply, nil
-	case <-time.After(d.RequestTimeout):
+	case <-t.C:
 		d.mu.Lock()
 		delete(d.pending, x)
 		d.mu.Unlock()
@@ -243,7 +399,8 @@ func (d *ConnDevice) Features() southbound.FeatureReply {
 // rule is in place when the call returns. Device-side refusals (e.g. a
 // slave-role write) surface as errors.
 func (d *ConnDevice) InstallRule(r dataplane.Rule) error {
-	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+	connFlowMods.Inc()
+	return d.awaitFence(southbound.Msg{Type: southbound.TypeFlowMod,
 		Body: southbound.FlowMod{Command: southbound.FlowAdd, Rule: r}})
 }
 
@@ -254,12 +411,9 @@ func (d *ConnDevice) InstallRule(r dataplane.Rule) error {
 // the device may hold a prefix of the batch — callers (flushBatch) roll
 // the affected version back with RemoveRulesVersion.
 func (d *ConnDevice) InstallRules(rules []dataplane.Rule) error {
-	switch {
-	case len(rules) == 0:
-		return nil
-	case len(rules) == 1:
-		return d.InstallRule(rules[0])
-	case d.DisableBatch:
+	ch := make(chan error, 1)
+	if !d.tryInstallRulesAsync(rules, func(err error) { ch <- err }) {
+		// Per-rule compatibility mode: one synchronous round trip per rule.
 		for _, r := range rules {
 			if err := d.InstallRule(r); err != nil {
 				return err
@@ -267,75 +421,247 @@ func (d *ConnDevice) InstallRules(rules []dataplane.Rule) error {
 		}
 		return nil
 	}
+	return <-ch
+}
+
+// tryInstallRulesAsync enqueues the rules (batched when possible) and
+// fences them, invoking cb with the outcome when the fence completes; it
+// reports false — and does nothing — when the device is configured for
+// per-rule synchronous installs. cb runs on the device's pump or deadline
+// goroutine and must not block or issue synchronous southbound I/O.
+func (d *ConnDevice) tryInstallRulesAsync(rules []dataplane.Rule, cb func(error)) bool {
+	if d.DisableBatch {
+		return false
+	}
+	switch len(rules) {
+	case 0:
+		cb(nil)
+		return true
+	case 1:
+		connFlowMods.Inc()
+		d.modAsync(southbound.Msg{Type: southbound.TypeFlowMod,
+			Body: southbound.FlowMod{Command: southbound.FlowAdd, Rule: rules[0]}}, cb)
+		return true
+	}
 	mods := make([]southbound.FlowMod, len(rules))
 	for i, r := range rules {
 		mods[i] = southbound.FlowMod{Command: southbound.FlowAdd, Rule: r}
 	}
 	connBatches.Inc()
 	connFlowMods.Add(int64(len(rules)))
-	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowModBatch,
-		Body: southbound.FlowModBatch{Mods: mods}})
+	d.modAsync(southbound.Msg{Type: southbound.TypeFlowModBatch,
+		Body: southbound.FlowModBatch{Mods: mods}}, cb)
+	return true
+}
+
+// tryRemoveRulesAsync enqueues one delete command and fences it, invoking
+// cb when the fence completes. Deletes are single mods on every
+// configuration, so this is always capable. cb must not block.
+func (d *ConnDevice) tryRemoveRulesAsync(cmd southbound.FlowModCommand, owner string, version int, cb func(error)) bool {
+	connFlowMods.Inc()
+	d.modAsync(southbound.Msg{Type: southbound.TypeFlowMod,
+		Body: southbound.FlowMod{Command: cmd, Owner: owner, Version: version}}, cb)
+	return true
 }
 
 // RemoveRules implements Device.
 func (d *ConnDevice) RemoveRules(owner string) error {
-	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+	connFlowMods.Inc()
+	return d.awaitFence(southbound.Msg{Type: southbound.TypeFlowMod,
 		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwner, Owner: owner}})
 }
 
 // RemoveRulesBefore implements Device.
 func (d *ConnDevice) RemoveRulesBefore(owner string, version int) error {
-	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+	connFlowMods.Inc()
+	return d.awaitFence(southbound.Msg{Type: southbound.TypeFlowMod,
 		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerBefore, Owner: owner, Version: version}})
 }
 
 // RemoveRulesVersion implements Device.
 func (d *ConnDevice) RemoveRulesVersion(owner string, version int) error {
-	return d.sendModAndBarrier(southbound.Msg{Type: southbound.TypeFlowMod,
+	connFlowMods.Inc()
+	return d.awaitFence(southbound.Msg{Type: southbound.TypeFlowMod,
 		Body: southbound.FlowMod{Command: southbound.FlowDeleteOwnerVersion, Owner: owner, Version: version}})
 }
 
-// sendModAndBarrier sends a modification (single FlowMod or a whole
-// FlowModBatch) with a tracked transaction ID, enqueues it without
-// waiting, and fences it with one retried barrier. The agent processes a
-// connection's messages in order, so an error for the mod is delivered
-// before the barrier reply.
-func (d *ConnDevice) sendModAndBarrier(m southbound.Msg) error {
-	if m.Type == southbound.TypeFlowMod {
-		connFlowMods.Inc()
-	}
+// awaitFence is the synchronous face of the completion table: enqueue the
+// modification, fence it, wait for the callback.
+func (d *ConnDevice) awaitFence(m southbound.Msg) error {
+	ch := make(chan error, 1)
+	d.modAsync(m, func(err error) { ch <- err })
+	return <-ch
+}
+
+// modAsync sends a modification (single FlowMod or a whole FlowModBatch)
+// with a tracked transaction ID and fences it; cb fires exactly once with
+// the operation's outcome. The agent processes a connection's messages in
+// order, so an error reply for the mod is recorded before the fence's
+// barrier reply is routed — the completion resolves mod errors without a
+// read-after-fence race.
+func (d *ConnDevice) modAsync(m southbound.Msg, cb func(error)) {
 	x := d.xid.Add(1)
 	m.Xid = x
-	ch := make(chan southbound.Msg, 1)
 	d.mu.Lock()
 	if d.closed {
 		d.mu.Unlock()
-		return southbound.ErrClosed
+		cb(southbound.ErrClosed)
+		return
 	}
-	d.pending[x] = ch
+	d.mods[x] = nil
 	d.mu.Unlock()
-	defer func() {
-		d.mu.Lock()
-		delete(d.pending, x)
-		d.mu.Unlock()
-	}()
 	if err := d.conn.Send(m); err != nil {
-		return err
+		d.mu.Lock()
+		delete(d.mods, x)
+		d.mu.Unlock()
+		cb(err)
+		return
 	}
-	if err := d.fence(); err != nil {
-		return err
+	d.fenceAsync(x, cb)
+}
+
+// fenceAsync registers a barrier completion covering modification modXid
+// and sends the first barrier attempt. Timeouts and retries are driven by
+// the deadline loop; each attempt re-keys the completion under a fresh
+// barrier xid.
+func (d *ConnDevice) fenceAsync(modXid uint32, cb func(error)) {
+	connBarriers.Inc()
+	bx := d.xid.Add(1)
+	comp := &barrierComp{cb: cb, modXid: modXid}
+	d.mu.Lock()
+	if d.closed {
+		delete(d.mods, modXid)
+		d.mu.Unlock()
+		cb(southbound.ErrClosed)
+		return
 	}
-	select {
-	case reply := <-ch:
-		if reply.Type == southbound.TypeError {
-			if e, ok := reply.Body.(southbound.Error); ok {
-				return fmt.Errorf("core: device %s refused modification: %s (code %d)", d.id, e.Message, e.Code)
+	d.barriers[bx] = comp
+	d.dl = append(d.dl, dlEntry{comp: comp, xid: bx, at: wallDeadline(d.RequestTimeout)})
+	d.mu.Unlock()
+	d.kickDeadlines()
+	if err := d.conn.Send(southbound.Msg{Type: southbound.TypeBarrierRequest, Xid: bx, Body: southbound.Barrier{}}); err != nil {
+		if merr, ok := d.completeFence(bx, comp); ok {
+			if merr == nil {
+				merr = err
 			}
-			return fmt.Errorf("core: device %s refused modification", d.id)
+			cb(merr)
 		}
-		return nil
+	}
+}
+
+// wallDeadline computes a fence expiry on the wall clock; fence pacing is
+// measurement-side machinery and never feeds replayable state.
+func wallDeadline(timeout time.Duration) time.Time {
+	return time.Now().Add(timeout) //softmow:allow determinism fence timeout scheduling, never feeds replayable state
+}
+
+// completeFence removes the fence from the table iff it is still keyed by
+// xid and owned by comp, consuming its mod error. It reports whether the
+// caller now owns the completion (and must invoke cb exactly once).
+func (d *ConnDevice) completeFence(xid uint32, comp *barrierComp) (error, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cur, ok := d.barriers[xid]; !ok || cur != comp {
+		return nil, false
+	}
+	delete(d.barriers, xid)
+	return d.takeModErrLocked(comp), true
+}
+
+func (d *ConnDevice) kickDeadlines() {
+	select {
+	case d.dlKick <- struct{}{}:
 	default:
-		return nil
+	}
+}
+
+// deadlineLoop drives fence timeouts off one reusable timer. The queue is
+// FIFO-ordered because every fence shares RequestTimeout, so only the head
+// entry's expiry ever needs arming.
+func (d *ConnDevice) deadlineLoop() {
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		d.mu.Lock()
+		hasWork := len(d.dl) > 0
+		var wait time.Duration
+		if hasWork {
+			wait = time.Until(d.dl[0].at) //softmow:allow determinism fence timeout scheduling, never feeds replayable state
+		}
+		d.mu.Unlock()
+		if !hasWork {
+			select {
+			case <-d.dlKick:
+				continue
+			case <-d.done:
+				return
+			}
+		}
+		if wait > 0 {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-d.done:
+				return
+			}
+		}
+		d.fireDeadlines()
+	}
+}
+
+// fireDeadlines expires every due fence: attempts with retry budget left
+// are re-keyed under a fresh barrier xid and their barrier resent; the
+// rest fail with the fence-timeout error. Stale entries — fences already
+// completed or re-keyed — are skipped because their xid snapshot no longer
+// matches the barrier table.
+func (d *ConnDevice) fireDeadlines() {
+	now := time.Now() //softmow:allow determinism fence timeout detection, never feeds replayable state
+	type resend struct {
+		comp *barrierComp
+		xid  uint32
+	}
+	var resends []resend
+	var failed []*barrierComp
+	d.mu.Lock()
+	for len(d.dl) > 0 && !d.dl[0].at.After(now) {
+		e := d.dl[0]
+		d.dl = d.dl[1:]
+		comp, ok := d.barriers[e.xid]
+		if !ok || comp != e.comp {
+			continue
+		}
+		delete(d.barriers, e.xid)
+		if comp.attempts < d.BarrierRetries && !d.closed {
+			comp.attempts++
+			nx := d.xid.Add(1)
+			d.barriers[nx] = comp
+			d.dl = append(d.dl, dlEntry{comp: comp, xid: nx, at: now.Add(d.RequestTimeout)})
+			resends = append(resends, resend{comp: comp, xid: nx})
+		} else {
+			d.takeModErrLocked(comp) //softmow:allow errdiscard timeout wins over any recorded mod error; the stash is drained so it cannot leak to a later fence
+			failed = append(failed, comp)
+		}
+	}
+	d.mu.Unlock()
+	for _, r := range resends {
+		connBarrierRetries.Inc()
+		connBarriers.Inc()
+		if err := d.conn.Send(southbound.Msg{Type: southbound.TypeBarrierRequest, Xid: r.xid, Body: southbound.Barrier{}}); err != nil {
+			//softmow:allow errdiscard the send error is the authoritative failure; any stashed mod error died with the conn
+			if _, ok := d.completeFence(r.xid, r.comp); ok {
+				r.comp.cb(err)
+			}
+		}
+	}
+	for _, comp := range failed {
+		comp.cb(fmt.Errorf("core: device %s: fence failed after %d attempts: %w",
+			d.id, d.BarrierRetries+1, fmt.Errorf("core: request to %s timed out", d.id)))
 	}
 }
 
@@ -346,29 +672,11 @@ func (d *ConnDevice) EmitDiscovery(port dataplane.PortID, f *discovery.Frame) er
 		Body: southbound.PacketOut{OutPort: port, Control: f}})
 }
 
-// Barrier fences all previously sent modifications.
+// Barrier fences all previously sent modifications synchronously.
 func (d *ConnDevice) Barrier() error {
 	connBarriers.Inc()
 	_, err := d.request(southbound.Msg{Type: southbound.TypeBarrierRequest, Body: southbound.Barrier{}})
 	return err
-}
-
-// fence bounds a logical operation with a barrier, retrying up to
-// BarrierRetries times on timeout. A closed connection fails immediately:
-// retrying cannot succeed and would stall rollback of the other path
-// devices behind BarrierRetries×RequestTimeout of dead air.
-func (d *ConnDevice) fence() error {
-	var err error
-	for attempt := 0; attempt <= d.BarrierRetries; attempt++ {
-		if attempt > 0 {
-			connBarrierRetries.Inc()
-		}
-		err = d.Barrier()
-		if err == nil || errors.Is(err, southbound.ErrClosed) {
-			return err
-		}
-	}
-	return fmt.Errorf("core: device %s: fence failed after %d attempts: %w", d.id, d.BarrierRetries+1, err)
 }
 
 // SetRole requests a controller role on the device (§5.3.2's

@@ -89,22 +89,22 @@ func (d *SwitchDevice) InstallRule(r dataplane.Rule) error {
 
 // RemoveRules implements Device, releasing reservations.
 func (d *SwitchDevice) RemoveRules(owner string) error {
-	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool { return r.Owner == owner })
+	d.net.RemoveRulesOwner(d.sw.ID, owner, nil)
 	return nil
 }
 
 // RemoveRulesBefore implements Device.
 func (d *SwitchDevice) RemoveRulesBefore(owner string, version int) error {
-	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool {
-		return r.Owner == owner && r.Version < version
+	d.net.RemoveRulesOwner(d.sw.ID, owner, func(r *dataplane.Rule) bool {
+		return r.Version < version
 	})
 	return nil
 }
 
 // RemoveRulesVersion implements Device.
 func (d *SwitchDevice) RemoveRulesVersion(owner string, version int) error {
-	d.net.RemoveRulesIf(d.sw.ID, func(r *dataplane.Rule) bool {
-		return r.Owner == owner && r.Version == version
+	d.net.RemoveRulesOwner(d.sw.ID, owner, func(r *dataplane.Rule) bool {
+		return r.Version == version
 	})
 	return nil
 }

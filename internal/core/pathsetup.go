@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/pathimpl"
 	"repro/internal/routing"
+	"repro/internal/southbound"
 )
 
 // PathID identifies an installed path at the controller that set it up.
@@ -154,8 +155,16 @@ func (c *Controller) TeardownPath(id PathID) error {
 	}
 	// Teardown is best-effort: the record is already deactivated, removals
 	// are idempotent filters, and a device that failed here is either gone
-	// (its rules died with it) or will be scrubbed by a later delete.
-	_ = c.runPerDevice(devs, func(d Device) error { return d.RemoveRules(rec.Owner) }) //softmow:allow errdiscard best-effort teardown of a deactivated path
+	// (its rules died with it) or will be scrubbed by a later delete. The
+	// deletes fan out with pipelined fences, so a multi-region path tears
+	// down in one wire round trip.
+	//softmow:allow errdiscard best-effort teardown of a deactivated path
+	_ = c.fanPerDevice(devs,
+		func(d Device, cb func(error)) bool {
+			ar, ok := d.(asyncRemover)
+			return ok && ar.tryRemoveRulesAsync(southbound.FlowDeleteOwner, rec.Owner, 0, cb)
+		},
+		func(d Device) error { return d.RemoveRules(rec.Owner) })
 	teardownLatency.Observe(time.Since(start))
 	return nil
 }
@@ -212,9 +221,12 @@ func (c *Controller) CommitReroute(id PathID) error {
 			devs = append(devs, d)
 		}
 	}
-	return c.runPerDevice(devs, func(d Device) error {
-		return d.RemoveRulesBefore(rec.Owner, rec.Version)
-	})
+	return c.fanPerDevice(devs,
+		func(d Device, cb func(error)) bool {
+			ar, ok := d.(asyncRemover)
+			return ok && ar.tryRemoveRulesAsync(southbound.FlowDeleteOwnerBefore, rec.Owner, rec.Version, cb)
+		},
+		func(d Device) error { return d.RemoveRulesBefore(rec.Owner, rec.Version) })
 }
 
 // ReroutePath performs a full consistent update: make-before-break with

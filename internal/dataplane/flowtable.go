@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Match selects packets for a flow rule. Zero-valued fields are wildcards,
@@ -184,6 +185,9 @@ type Rule struct {
 	Demand float64
 
 	seq uint64
+	// dead marks a rule removed through the owner index but not yet
+	// compacted out of the ordered slice (a tombstone).
+	dead bool
 }
 
 // String implements fmt.Stringer.
@@ -196,49 +200,117 @@ func (r *Rule) String() string {
 }
 
 // FlowTable is a concurrency-safe prioritized rule table.
+//
+// Installs append and owner-scoped removals go through a per-owner index,
+// so both are O(1)/O(k) amortized instead of shifting or scanning the
+// whole table — at 100k+ installed rules the previous
+// sorted-insert/linear-scan layout dominated bearer-setup CPU. The
+// priority ordering Lookup needs is restored lazily: removals leave
+// tombstones and installs may unsort the slice, and the next ordered read
+// (Lookup, Rules) compacts and re-sorts once.
 type FlowTable struct {
-	mu      sync.RWMutex
-	rules   []*Rule
+	mu sync.RWMutex
+	// rules is the ordered view, guarded by mu. It may hold tombstones
+	// (dead > 0) and may be unsorted (dirty) between ordered reads.
+	rules []*Rule
+	// byOwner indexes live rules by owner tag in insertion order,
+	// guarded by mu.
+	byOwner map[string][]*Rule
+	// live / dead count non-tombstoned and tombstoned entries of rules,
+	// guarded by mu.
+	live int
+	dead int
+	// dirty records that rules is not sorted, guarded by mu.
+	dirty   bool
 	nextSeq uint64
-	// Misses counts lookups that matched no rule.
-	misses uint64
-	// Hits counts successful lookups.
-	hits uint64
+	// misses counts lookups that matched no rule.
+	misses atomic.Uint64
+	// hits counts successful lookups.
+	hits atomic.Uint64
 }
 
 // NewFlowTable returns an empty table.
-func NewFlowTable() *FlowTable { return &FlowTable{} }
+func NewFlowTable() *FlowTable { return &FlowTable{byOwner: make(map[string][]*Rule)} }
 
-// Add installs a rule (copied) and keeps the table sorted by priority desc,
-// then insertion order asc. The new rule carries the highest seq, so its
-// slot is directly after the existing rules of priority >= r.Priority — a
-// binary search plus one shift, not a full re-sort (at 100k+ installed
-// rules a per-install sort dominates bearer-setup latency).
+// Add installs a rule (copied). The rule is appended and indexed by owner;
+// an append that breaks priority order only marks the table dirty — the
+// next ordered read sorts once, so a burst of installs never pays a
+// per-install shift of the whole table.
 func (t *FlowTable) Add(r Rule) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	r.seq = t.nextSeq
 	t.nextSeq++
 	rc := r
-	i := sort.Search(len(t.rules), func(i int) bool {
-		return t.rules[i].Priority < rc.Priority
-	})
-	t.rules = append(t.rules, nil)
-	copy(t.rules[i+1:], t.rules[i:])
-	t.rules[i] = &rc
+	if !t.dirty && len(t.rules) > 0 {
+		// Appending keeps the slice sorted only when the new rule sorts at
+		// or after the current tail (priority desc, seq asc).
+		if t.rules[len(t.rules)-1].Priority < rc.Priority {
+			t.dirty = true
+		}
+	}
+	t.rules = append(t.rules, &rc)
+	if t.byOwner == nil {
+		t.byOwner = make(map[string][]*Rule)
+	}
+	t.byOwner[rc.Owner] = append(t.byOwner[rc.Owner], &rc)
+	t.live++
+}
+
+// compactLocked restores the invariant ordered reads rely on: tombstones
+// are dropped and, if installs unsorted the slice, it is re-sorted by
+// (priority desc, insertion order asc). Caller holds the write lock.
+func (t *FlowTable) compactLocked() {
+	if t.dead > 0 {
+		kept := t.rules[:0]
+		for _, r := range t.rules {
+			if !r.dead {
+				kept = append(kept, r)
+			}
+		}
+		for i := len(kept); i < len(t.rules); i++ {
+			t.rules[i] = nil
+		}
+		t.rules = kept
+		t.dead = 0
+	}
+	if t.dirty {
+		sort.Slice(t.rules, func(i, j int) bool {
+			if t.rules[i].Priority != t.rules[j].Priority {
+				return t.rules[i].Priority > t.rules[j].Priority
+			}
+			return t.rules[i].seq < t.rules[j].seq
+		})
+		t.dirty = false
+	}
 }
 
 // Lookup returns the highest-priority rule matching the packet, or nil.
 func (t *FlowTable) Lookup(inPort PortID, p *Packet) *Rule {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
+	if t.dirty || t.dead > 0 {
+		t.mu.RUnlock()
+		t.mu.Lock()
+		t.compactLocked()
+		r := t.lookupLocked(inPort, p)
+		t.mu.Unlock()
+		return r
+	}
+	r := t.lookupLocked(inPort, p)
+	t.mu.RUnlock()
+	return r
+}
+
+// lookupLocked scans the ordered slice; caller holds mu (either mode) with
+// the table compacted.
+func (t *FlowTable) lookupLocked(inPort PortID, p *Packet) *Rule {
 	for _, r := range t.rules {
 		if r.Match.Matches(inPort, p) {
-			t.hits++
+			t.hits.Add(1)
 			return r
 		}
 	}
-	t.misses++
+	t.misses.Add(1)
 	return nil
 }
 
@@ -246,22 +318,25 @@ func (t *FlowTable) Lookup(inPort PortID, p *Packet) *Rule {
 func (t *FlowTable) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rules)
+	return t.live
 }
 
-// Rules returns a snapshot of the installed rules.
+// Rules returns a snapshot of the installed rules in priority order.
 func (t *FlowTable) Rules() []*Rule {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.compactLocked()
 	out := make([]*Rule, len(t.rules))
 	copy(out, t.rules)
 	return out
 }
 
-// TakeIf deletes all rules for which pred returns true and returns them.
+// TakeIf deletes all rules for which pred returns true and returns them in
+// priority order.
 func (t *FlowTable) TakeIf(pred func(*Rule) bool) []*Rule {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.compactLocked()
 	kept := t.rules[:0]
 	var removed []*Rule
 	for _, r := range t.rules {
@@ -275,7 +350,68 @@ func (t *FlowTable) TakeIf(pred func(*Rule) bool) []*Rule {
 		t.rules[i] = nil
 	}
 	t.rules = kept
+	t.live = len(kept)
+	for _, r := range removed {
+		t.unindexLocked(r)
+	}
 	return removed
+}
+
+// TakeOwnerIf deletes owner's rules for which pred returns true (nil
+// matches all of them) and returns them in insertion order. This is the
+// O(k) fast path behind every owner-scoped removal: only the owner's own
+// bucket is visited, and the ordered slice keeps tombstones until the next
+// ordered read compacts.
+func (t *FlowTable) TakeOwnerIf(owner string, pred func(*Rule) bool) []*Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	bucket := t.byOwner[owner]
+	if len(bucket) == 0 {
+		return nil
+	}
+	kept := bucket[:0]
+	var removed []*Rule
+	for _, r := range bucket {
+		if pred == nil || pred(r) {
+			r.dead = true
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(t.byOwner, owner)
+	} else {
+		for i := len(kept); i < len(bucket); i++ {
+			bucket[i] = nil
+		}
+		t.byOwner[owner] = kept
+	}
+	t.dead += len(removed)
+	t.live -= len(removed)
+	// Amortization: once tombstones outnumber live rules the next ordered
+	// read would pay for them anyway, so fold the compaction in here.
+	if t.dead > t.live {
+		t.compactLocked()
+	}
+	return removed
+}
+
+// unindexLocked removes a rule pointer from its owner bucket; caller holds
+// the write lock.
+func (t *FlowTable) unindexLocked(r *Rule) {
+	bucket := t.byOwner[r.Owner]
+	for i, br := range bucket {
+		if br == r {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(t.byOwner, r.Owner)
+	} else {
+		t.byOwner[r.Owner] = bucket
+	}
 }
 
 // RemoveIf deletes all rules for which pred returns true, returning the
@@ -286,7 +422,7 @@ func (t *FlowTable) RemoveIf(pred func(*Rule) bool) int {
 
 // RemoveByOwner deletes all rules installed by owner.
 func (t *FlowTable) RemoveByOwner(owner string) int {
-	return t.RemoveIf(func(r *Rule) bool { return r.Owner == owner })
+	return len(t.TakeOwnerIf(owner, nil))
 }
 
 // RemoveVersion deletes all rules with the given version.
@@ -301,7 +437,5 @@ func (t *FlowTable) Clear() {
 
 // Stats returns (hits, misses) lookup counters.
 func (t *FlowTable) Stats() (hits, misses uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.hits, t.misses
+	return t.hits.Load(), t.misses.Load()
 }

@@ -338,6 +338,27 @@ func (n *Network) RemoveRulesIf(swID DeviceID, pred func(*Rule) bool) int {
 	return len(removed)
 }
 
+// RemoveRulesOwner removes owner's rules matching pred (nil matches all
+// of them) from a switch, releasing their bandwidth reservations, and
+// returns the number removed. Unlike RemoveRulesIf this goes through the
+// flow table's per-owner index, so the cost is proportional to the
+// owner's own rules rather than the whole table.
+func (n *Network) RemoveRulesOwner(swID DeviceID, owner string, pred func(*Rule) bool) int {
+	sw := n.Switch(swID)
+	if sw == nil {
+		return 0
+	}
+	removed := sw.Table.TakeOwnerIf(owner, pred)
+	for _, r := range removed {
+		if r.Demand > 0 {
+			if l := n.outputLink(sw, *r); l != nil {
+				l.Release(r.Demand)
+			}
+		}
+	}
+	return len(removed)
+}
+
 // outputLink resolves the link behind a rule's output port (nil for
 // external, radio, middlebox or linkless ports).
 func (n *Network) outputLink(sw *Switch, r Rule) *Link {

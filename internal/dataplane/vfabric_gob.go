@@ -3,6 +3,7 @@ package dataplane
 import (
 	"bytes"
 	"encoding/gob"
+	"fmt"
 )
 
 // vfabricWire is the gob wire representation of VFabric.
@@ -26,11 +27,16 @@ func (v *VFabric) GobEncode() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// GobDecode implements gob.GobDecoder.
+// GobDecode implements gob.GobDecoder. Malformed input (a crafted blob
+// whose parallel slices disagree) must surface as an error, never a panic
+// — the southbound decoder runs this over untrusted bytes.
 func (v *VFabric) GobDecode(data []byte) error {
 	var w vfabricWire
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return err
+	}
+	if len(w.Pairs) != len(w.Metrics) {
+		return fmt.Errorf("dataplane: vfabric wire data has %d pairs but %d metrics", len(w.Pairs), len(w.Metrics))
 	}
 	v.pairs = make(map[PortPair]PathMetrics, len(w.Pairs))
 	for i, pp := range w.Pairs {

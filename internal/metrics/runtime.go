@@ -89,8 +89,8 @@ type HistSnapshot struct {
 	Max   time.Duration
 }
 
-// Snapshot summarizes the histogram. Quantiles are upper bucket bounds
-// (conservative estimates).
+// Snapshot summarizes the histogram. Quantiles interpolate linearly
+// within their log₂ bucket (see quantile).
 func (h *DurationHist) Snapshot() HistSnapshot {
 	s := HistSnapshot{Count: h.count.Load(), Max: time.Duration(h.max.Load())}
 	if s.Count == 0 {
@@ -103,6 +103,13 @@ func (h *DurationHist) Snapshot() HistSnapshot {
 	return s
 }
 
+// quantile estimates the q-quantile by locating the log₂ bucket holding
+// the target observation and interpolating linearly inside it: the
+// bucket's samples are assumed uniformly spread between its bounds, and
+// the target's rank within the bucket (counted from the middle of its
+// sample, hence the +0.5) picks the point. Returning the bucket's upper
+// bound — the old behavior — overstated every quantile by up to 2× and
+// collapsed distinct distributions onto identical round values.
 func (h *DurationHist) quantile(q float64) time.Duration {
 	total := h.count.Load()
 	if total == 0 {
@@ -112,16 +119,23 @@ func (h *DurationHist) quantile(q float64) time.Duration {
 	if target >= total {
 		target = total - 1
 	}
-	var cum int64
+	var before int64
 	for b := 0; b < histBuckets; b++ {
-		cum += h.counts[b].Load()
-		if cum > target {
-			u := histBucketUpper(b)
-			if m := time.Duration(h.max.Load()); u > m {
+		inBucket := h.counts[b].Load()
+		if before+inBucket > target {
+			upper := histBucketUpper(b)
+			lower := time.Duration(0)
+			if b > 0 {
+				lower = upper / 2
+			}
+			frac := (float64(target-before) + 0.5) / float64(inBucket)
+			v := lower + time.Duration(frac*float64(upper-lower))
+			if m := time.Duration(h.max.Load()); v > m {
 				return m
 			}
-			return u
+			return v
 		}
+		before += inBucket
 	}
 	return time.Duration(h.max.Load())
 }

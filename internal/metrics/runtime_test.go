@@ -57,6 +57,73 @@ func TestDurationHistSnapshot(t *testing.T) {
 	}
 }
 
+// TestDurationHistQuantileInterpolation pins the sub-bucket linear
+// interpolation exactly. The pre-fix quantile returned the bucket's upper
+// bound, so every distribution landing in the [8.192ms, 16.384ms) bucket
+// reported the identical p50 of 16384000ns regardless of where its mass
+// sat — BENCH_workload.json showed the same 8192000 p50 for operations
+// with visibly different means.
+func TestDurationHistQuantileInterpolation(t *testing.T) {
+	h := NewDurationHist("test.hist.interp")
+	// 100 samples in the [1.024ms, 2.048ms) bucket, 100 in the
+	// [2.048ms, 4.096ms) bucket, max well above both.
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	// p50: target rank 100 is the first sample of the second bucket:
+	// lower 2048µs + (0+0.5)/100 of the 2048µs bucket width = 2058.24µs.
+	if want := time.Duration(2058240); s.P50 != want {
+		t.Fatalf("p50 = %v (%dns), want %v", s.P50, s.P50.Nanoseconds(), want)
+	}
+	// p99: rank 198 → 2048µs + 98.5/100·2048µs = 4065.28µs, clamped to
+	// the observed max of 3ms.
+	if want := 3 * time.Millisecond; s.P99 != want {
+		t.Fatalf("p99 = %v, want clamped to max %v", s.P99, want)
+	}
+}
+
+// TestDurationHistQuantilesDifferWithinBucket pins that quantiles of a
+// single-bucket distribution now spread across the bucket instead of all
+// collapsing onto its upper bound.
+func TestDurationHistQuantilesDifferWithinBucket(t *testing.T) {
+	h := NewDurationHist("test.hist.withinbucket")
+	for i := 0; i < 100; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	h.Observe(10 * time.Millisecond) // keeps max above the interpolated values
+	s := h.Snapshot()
+	// Rank 50 of 101 → 1024µs + 50.5/100·1024µs = 1541.12µs.
+	if want := time.Duration(1541120); s.P50 != want {
+		t.Fatalf("p50 = %v (%dns), want %v", s.P50, s.P50.Nanoseconds(), want)
+	}
+	// Rank 99 still lands in the same bucket: 1024µs + 99.5/100·1024µs.
+	if want := time.Duration(2042880); s.P99 != want {
+		t.Fatalf("p99 = %v (%dns), want %v", s.P99, s.P99.Nanoseconds(), want)
+	}
+	if s.P50 == s.P99 {
+		t.Fatal("p50 and p99 collapsed onto the same value within one bucket")
+	}
+}
+
+// TestDurationHistZeroBucketQuantile pins interpolation from the lowest
+// bucket, whose lower bound is 0, not upper/2.
+func TestDurationHistZeroBucketQuantile(t *testing.T) {
+	h := NewDurationHist("test.hist.zerobucket")
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	h.Observe(5 * time.Microsecond)
+	s := h.Snapshot()
+	// Bucket 0 spans [0, 2µs): rank 5 of 11 → 0 + 5.5/10·2µs = 1.1µs.
+	if want := time.Duration(1100); s.P50 != want {
+		t.Fatalf("p50 = %v (%dns), want %v", s.P50, s.P50.Nanoseconds(), want)
+	}
+}
+
 func TestDurationHistConcurrent(t *testing.T) {
 	h := NewDurationHist("test.hist.concurrent")
 	var wg sync.WaitGroup

@@ -220,16 +220,16 @@ func (a *SwitchAgent) applyFlowMod(fm FlowMod) error {
 	case FlowAdd:
 		return a.Net.InstallRule(a.Sw.ID, fm.Rule)
 	case FlowDeleteOwner:
-		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Owner == fm.Owner })
+		a.Net.RemoveRulesOwner(a.Sw.ID, fm.Owner, nil)
 	case FlowDeleteVersion:
 		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool { return r.Version == fm.Version })
 	case FlowDeleteOwnerBefore:
-		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
-			return r.Owner == fm.Owner && r.Version < fm.Version
+		a.Net.RemoveRulesOwner(a.Sw.ID, fm.Owner, func(r *dataplane.Rule) bool {
+			return r.Version < fm.Version
 		})
 	case FlowDeleteOwnerVersion:
-		a.Net.RemoveRulesIf(a.Sw.ID, func(r *dataplane.Rule) bool {
-			return r.Owner == fm.Owner && r.Version == fm.Version
+		a.Net.RemoveRulesOwner(a.Sw.ID, fm.Owner, func(r *dataplane.Rule) bool {
+			return r.Version == fm.Version
 		})
 	}
 	return nil

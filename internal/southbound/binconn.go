@@ -1,0 +1,167 @@
+package southbound
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// WriteDeadliner is implemented by connections whose Send can be bounded
+// by a per-write deadline. ConnDevice derives the timeout from its own
+// RequestTimeout at dial, so a stalled peer surfaces as a Send error
+// instead of wedging every sender on the conn (the gob codec's failure
+// mode).
+type WriteDeadliner interface {
+	// SetWriteTimeout bounds each subsequent Send; 0 disables the bound.
+	SetWriteTimeout(time.Duration)
+}
+
+// framePool recycles frame encode buffers across sends and connections.
+var framePool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// BinConn frames messages with the hand-rolled binary codec (codec.go)
+// over a net.Conn. Encoding appends into a pooled buffer and decoding
+// reads into a per-conn scratch slice, so steady-state sends and receives
+// of hot-path messages do not allocate.
+type BinConn struct {
+	nc net.Conn
+
+	wM sync.Mutex // serializes writers on nc
+
+	rM sync.Mutex
+	// rbuf is the receive scratch buffer, guarded by rM.
+	rbuf []byte
+
+	// writeTimeout bounds each Send in nanoseconds (0 = unbounded).
+	writeTimeout atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+	closed    atomic.Bool
+}
+
+// NewBinConn wraps a net.Conn in the binary codec.
+func NewBinConn(nc net.Conn) *BinConn {
+	return &BinConn{nc: nc}
+}
+
+// NewWireConn wraps nc in the default binary codec, or in the legacy gob
+// codec when useGob is set — the compatibility flag for peers that predate
+// the binary framing.
+func NewWireConn(nc net.Conn, useGob bool) Conn {
+	if useGob {
+		return NewGobConn(nc)
+	}
+	return NewBinConn(nc)
+}
+
+// SetWriteTimeout implements WriteDeadliner.
+func (c *BinConn) SetWriteTimeout(d time.Duration) {
+	c.writeTimeout.Store(int64(d))
+}
+
+// Send implements Conn. With a write timeout set, the socket write is
+// armed with a deadline; a peer that stops reading fails the Send within
+// the timeout instead of blocking it (and every queued sender behind wM)
+// forever. Close from another goroutine also unblocks an in-flight write.
+func (c *BinConn) Send(m Msg) error {
+	bufp := framePool.Get().(*[]byte)
+	buf, err := AppendFrame((*bufp)[:0], &m)
+	if err != nil {
+		framePool.Put(bufp)
+		return err
+	}
+	*bufp = buf[:0]
+
+	c.wM.Lock()
+	if wt := time.Duration(c.writeTimeout.Load()); wt > 0 {
+		deadline := time.Now().Add(wt) //softmow:allow determinism write-deadline arming only, never feeds replayable state
+		if err := c.nc.SetWriteDeadline(deadline); err != nil {
+			c.wM.Unlock()
+			framePool.Put(bufp)
+			return c.sendErr(err)
+		}
+	}
+	_, werr := c.nc.Write(buf)
+	c.wM.Unlock()
+	framePool.Put(bufp)
+	if werr != nil {
+		return c.sendErr(werr)
+	}
+	return nil
+}
+
+func (c *BinConn) sendErr(err error) error {
+	if c.closed.Load() || errors.Is(err, net.ErrClosed) {
+		return ErrClosed
+	}
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("southbound: write deadline exceeded: %w", err)
+	}
+	return fmt.Errorf("southbound: write: %w", err)
+}
+
+// Recv implements Conn.
+func (c *BinConn) Recv() (Msg, error) {
+	c.rM.Lock()
+	defer c.rM.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
+		return Msg{}, c.recvErr(err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		// The stream is unrecoverable past a bogus length; fail hard.
+		return Msg{}, wireErrorf("frame payload %d exceeds limit %d", n, MaxFrameSize)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	payload := c.rbuf[:n]
+	if _, err := io.ReadFull(c.nc, payload); err != nil {
+		return Msg{}, c.recvErr(err)
+	}
+	m, err := DecodeFrame(payload)
+	if err != nil {
+		return Msg{}, err
+	}
+	return m, nil
+}
+
+func (c *BinConn) recvErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return io.EOF
+	}
+	return fmt.Errorf("southbound: read: %w", err)
+}
+
+// Close implements Conn. It also unblocks any Send stalled inside the
+// socket write.
+func (c *BinConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		c.closeErr = c.nc.Close()
+	})
+	return c.closeErr
+}
+
+// wireGobOnce backs registerWireGob.
+var wireGobOnce sync.Once
+
+// registerWireGob ensures the standard body types are gob-registered
+// before a gob-nested body (FeatureReply, PacketIn, PacketOut) is encoded
+// or decoded, without requiring every binary-codec user to call
+// RegisterGobTypes. Custom Control payloads still need explicit
+// registration, exactly as on the gob codec.
+func registerWireGob() {
+	wireGobOnce.Do(func() { RegisterGobTypes() })
+}

@@ -1,0 +1,602 @@
+package southbound
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"repro/internal/dataplane"
+)
+
+// Binary wire format (DESIGN.md §7). Each message is one length-prefixed
+// frame:
+//
+//	offset size  field
+//	0      4     payload length N, big endian (excludes these 4 bytes)
+//	4      1     wire version (WireVersion)
+//	5      1     message type (MsgType)
+//	6      4     xid, big endian
+//	10     2     datapath length L, big endian
+//	12     L     datapath bytes
+//	12+L   …     body (per-type layout below)
+//
+// Hot-path bodies (flow mods, barriers, errors, hellos, port/role events)
+// are hand-encoded with fixed-width integers and length-prefixed strings.
+// Cold bodies that carry interface values or deep structure (FeatureReply,
+// PacketIn, PacketOut) are nested as one gob blob — they flow once per
+// dial or per punted packet, not per rule, so self-describing overhead is
+// irrelevant there and the hot path never pays for reflection.
+
+// WireVersion is the binary framing version byte. Decoders reject frames
+// carrying any other value, giving the format room to evolve.
+const WireVersion = 1
+
+// MaxFrameSize bounds one frame's payload. Oversized length prefixes are
+// rejected before any allocation, so a corrupt or hostile peer cannot make
+// Recv allocate unbounded memory.
+const MaxFrameSize = 1 << 20
+
+// String length limits within a frame: generic strings (owners, names,
+// prefixes) carry a 2-byte length; echo payloads a 4-byte one.
+const maxWireString = math.MaxUint16
+
+type wireError struct{ msg string }
+
+func (e *wireError) Error() string { return "southbound: wire: " + e.msg }
+
+func wireErrorf(format string, args ...interface{}) error {
+	return &wireError{msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendFrame appends the frame encoding of m (length prefix included) to
+// dst and returns the extended slice. Encoding into a caller-owned buffer
+// keeps the hot path allocation-free: Send reuses one pooled buffer per
+// write.
+func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
+	lenAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // payload length, patched below
+	dst = append(dst, WireVersion, byte(m.Type))
+	dst = binary.BigEndian.AppendUint32(dst, m.Xid)
+	var err error
+	if dst, err = appendString(dst, string(m.Datapath)); err != nil {
+		return nil, err
+	}
+	if dst, err = appendBody(dst, m); err != nil {
+		return nil, err
+	}
+	payload := len(dst) - lenAt - 4
+	if payload > MaxFrameSize {
+		return nil, wireErrorf("frame payload %d exceeds limit %d", payload, MaxFrameSize)
+	}
+	binary.BigEndian.PutUint32(dst[lenAt:], uint32(payload))
+	return dst, nil
+}
+
+func appendBody(dst []byte, m *Msg) ([]byte, error) {
+	switch m.Type {
+	case TypeHello:
+		b, ok := m.Body.(Hello)
+		if !ok {
+			return nil, wireErrorf("hello body is %T", m.Body)
+		}
+		var err error
+		if dst, err = appendString(dst, b.Sender); err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(b.Version))), nil
+
+	case TypeEchoRequest, TypeEchoReply:
+		b, ok := m.Body.(Echo)
+		if !ok {
+			return nil, wireErrorf("echo body is %T", m.Body)
+		}
+		return appendLongString(dst, b.Payload)
+
+	case TypeFeatureRequest:
+		return dst, nil
+
+	case TypeBarrierRequest, TypeBarrierReply:
+		return dst, nil
+
+	case TypeFlowMod:
+		b, ok := m.Body.(FlowMod)
+		if !ok {
+			return nil, wireErrorf("flow-mod body is %T", m.Body)
+		}
+		return appendFlowMod(dst, &b)
+
+	case TypeFlowModBatch:
+		b, ok := m.Body.(FlowModBatch)
+		if !ok {
+			return nil, wireErrorf("flow-mod-batch body is %T", m.Body)
+		}
+		if len(b.Mods) > maxWireString {
+			return nil, wireErrorf("batch of %d mods exceeds limit", len(b.Mods))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Mods)))
+		var err error
+		for i := range b.Mods {
+			if dst, err = appendFlowMod(dst, &b.Mods[i]); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+
+	case TypePortStatus:
+		b, ok := m.Body.(PortStatus)
+		if !ok {
+			return nil, wireErrorf("port-status body is %T", m.Body)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Port)))
+		return appendBool(dst, b.Up), nil
+
+	case TypeRoleRequest:
+		b, ok := m.Body.(RoleRequest)
+		if !ok {
+			return nil, wireErrorf("role-request body is %T", m.Body)
+		}
+		var err error
+		if dst, err = appendString(dst, b.Controller); err != nil {
+			return nil, err
+		}
+		return append(dst, byte(b.Role)), nil
+
+	case TypeRoleReply:
+		b, ok := m.Body.(RoleReply)
+		if !ok {
+			return nil, wireErrorf("role-reply body is %T", m.Body)
+		}
+		var err error
+		if dst, err = appendString(dst, b.Controller); err != nil {
+			return nil, err
+		}
+		return append(dst, byte(b.Role)), nil
+
+	case TypeError:
+		b, ok := m.Body.(Error)
+		if !ok {
+			return nil, wireErrorf("error body is %T", m.Body)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Code)))
+		return appendString(dst, b.Message)
+
+	case TypeFeatureReply, TypePacketIn, TypePacketOut:
+		return appendGobBody(dst, m)
+
+	default:
+		return nil, wireErrorf("cannot encode message type %d", int(m.Type))
+	}
+}
+
+func appendFlowMod(dst []byte, fm *FlowMod) ([]byte, error) {
+	dst = append(dst, byte(fm.Command))
+	var err error
+	if dst, err = appendRule(dst, &fm.Rule); err != nil {
+		return nil, err
+	}
+	if dst, err = appendString(dst, fm.Owner); err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint32(dst, uint32(int32(fm.Version))), nil
+}
+
+func appendRule(dst []byte, r *dataplane.Rule) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Priority)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Match.InPort)))
+	dst = appendBool(dst, r.Match.HasLabel)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Match.Label))
+	dst = appendBool(dst, r.Match.MatchNoLabel)
+	var err error
+	for _, s := range []string{r.Match.UE, r.Match.SrcIP, r.Match.DstPrefix} {
+		if dst, err = appendString(dst, s); err != nil {
+			return nil, err
+		}
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Match.QoS)))
+	if len(r.Actions) > maxWireString {
+		return nil, wireErrorf("%d actions exceed limit", len(r.Actions))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Actions)))
+	for _, a := range r.Actions {
+		dst = append(dst, byte(a.Op))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(a.Port)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(a.Label))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Version)))
+	if dst, err = appendString(dst, r.Owner); err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(r.Demand)), nil
+}
+
+// appendGobBody nests the body as a length-prefixed gob blob. One-shot
+// encoders resend type descriptors per message; acceptable because these
+// bodies are off the rule-programming hot path.
+func appendGobBody(dst []byte, m *Msg) ([]byte, error) {
+	registerWireGob()
+	var buf bytes.Buffer
+	// Encode through the envelope so interface-valued fields (PacketIn
+	// Control payloads) reuse the registrations the gob codec relies on.
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, wireErrorf("gob body: %v", err)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(buf.Len()))
+	return append(dst, buf.Bytes()...), nil
+}
+
+func appendBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > maxWireString {
+		return nil, wireErrorf("string of %d bytes exceeds limit", len(s))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendLongString(dst []byte, s string) ([]byte, error) {
+	if len(s) > MaxFrameSize {
+		return nil, wireErrorf("payload of %d bytes exceeds limit", len(s))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
+	return append(dst, s...), nil
+}
+
+// frameReader is a bounds-checked cursor over one frame payload. Every
+// read reports truncation through ok instead of panicking, which is what
+// lets DecodeFrame run over fuzzer-generated garbage safely.
+type frameReader struct {
+	b   []byte
+	off int
+}
+
+func (fr *frameReader) take(n int) ([]byte, bool) {
+	if n < 0 || len(fr.b)-fr.off < n {
+		return nil, false
+	}
+	out := fr.b[fr.off : fr.off+n]
+	fr.off += n
+	return out, true
+}
+
+func (fr *frameReader) u8() (byte, bool) {
+	b, ok := fr.take(1)
+	if !ok {
+		return 0, false
+	}
+	return b[0], true
+}
+
+func (fr *frameReader) u16() (uint16, bool) {
+	b, ok := fr.take(2)
+	if !ok {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(b), true
+}
+
+func (fr *frameReader) u32() (uint32, bool) {
+	b, ok := fr.take(4)
+	if !ok {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b), true
+}
+
+func (fr *frameReader) u64() (uint64, bool) {
+	b, ok := fr.take(8)
+	if !ok {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(b), true
+}
+
+func (fr *frameReader) i32() (int, bool) {
+	v, ok := fr.u32()
+	return int(int32(v)), ok
+}
+
+func (fr *frameReader) boolean() (bool, bool) {
+	v, ok := fr.u8()
+	return v != 0, ok
+}
+
+func (fr *frameReader) str() (string, bool) {
+	n, ok := fr.u16()
+	if !ok {
+		return "", false
+	}
+	b, ok := fr.take(int(n))
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+func (fr *frameReader) longStr() (string, bool) {
+	n, ok := fr.u32()
+	if !ok || n > MaxFrameSize {
+		return "", false
+	}
+	b, ok := fr.take(int(n))
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+var errTruncated = &wireError{msg: "truncated frame"}
+
+// DecodeFrame parses one frame payload (the bytes after the 4-byte length
+// prefix) into a Msg. It never panics on malformed input: truncated,
+// oversized, or trailing-garbage frames return an error.
+func DecodeFrame(payload []byte) (Msg, error) {
+	if len(payload) > MaxFrameSize {
+		return Msg{}, wireErrorf("frame payload %d exceeds limit %d", len(payload), MaxFrameSize)
+	}
+	fr := &frameReader{b: payload}
+	ver, ok := fr.u8()
+	if !ok {
+		return Msg{}, errTruncated
+	}
+	if ver != WireVersion {
+		return Msg{}, wireErrorf("unsupported wire version %d (want %d)", ver, WireVersion)
+	}
+	mt, ok := fr.u8()
+	if !ok {
+		return Msg{}, errTruncated
+	}
+	m := Msg{Type: MsgType(mt)}
+	if m.Xid, ok = fr.u32(); !ok {
+		return Msg{}, errTruncated
+	}
+	dp, ok := fr.str()
+	if !ok {
+		return Msg{}, errTruncated
+	}
+	m.Datapath = dataplane.DeviceID(dp)
+	if err := decodeBody(fr, &m); err != nil {
+		return Msg{}, err
+	}
+	if fr.off != len(fr.b) {
+		return Msg{}, wireErrorf("%d trailing bytes after %s body", len(fr.b)-fr.off, m.Type)
+	}
+	return m, nil
+}
+
+func decodeBody(fr *frameReader, m *Msg) error {
+	switch m.Type {
+	case TypeHello:
+		var b Hello
+		var ok bool
+		if b.Sender, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		if b.Version, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeEchoRequest, TypeEchoReply:
+		p, ok := fr.longStr()
+		if !ok {
+			return errTruncated
+		}
+		m.Body = Echo{Payload: p}
+		return nil
+
+	case TypeFeatureRequest:
+		m.Body = FeatureRequest{}
+		return nil
+
+	case TypeBarrierRequest, TypeBarrierReply:
+		m.Body = Barrier{}
+		return nil
+
+	case TypeFlowMod:
+		fm, err := decodeFlowMod(fr)
+		if err != nil {
+			return err
+		}
+		m.Body = fm
+		return nil
+
+	case TypeFlowModBatch:
+		n, ok := fr.u16()
+		if !ok {
+			return errTruncated
+		}
+		b := FlowModBatch{}
+		if n > 0 {
+			b.Mods = make([]FlowMod, 0, min(int(n), 1024))
+			for i := 0; i < int(n); i++ {
+				fm, err := decodeFlowMod(fr)
+				if err != nil {
+					return err
+				}
+				b.Mods = append(b.Mods, fm)
+			}
+		}
+		m.Body = b
+		return nil
+
+	case TypePortStatus:
+		var b PortStatus
+		port, ok := fr.i32()
+		if !ok {
+			return errTruncated
+		}
+		b.Port = dataplane.PortID(port)
+		if b.Up, ok = fr.boolean(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeRoleRequest:
+		ctrl, role, err := decodeRoleBody(fr)
+		if err != nil {
+			return err
+		}
+		m.Body = RoleRequest{Controller: ctrl, Role: role}
+		return nil
+
+	case TypeRoleReply:
+		ctrl, role, err := decodeRoleBody(fr)
+		if err != nil {
+			return err
+		}
+		m.Body = RoleReply{Controller: ctrl, Role: role}
+		return nil
+
+	case TypeError:
+		var b Error
+		var ok bool
+		if b.Code, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		if b.Message, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeFeatureReply, TypePacketIn, TypePacketOut:
+		return decodeGobBody(fr, m)
+
+	default:
+		return wireErrorf("cannot decode message type %d", int(m.Type))
+	}
+}
+
+func decodeRoleBody(fr *frameReader) (string, Role, error) {
+	ctrl, ok := fr.str()
+	if !ok {
+		return "", 0, errTruncated
+	}
+	role, ok := fr.u8()
+	if !ok {
+		return "", 0, errTruncated
+	}
+	return ctrl, Role(role), nil
+}
+
+func decodeFlowMod(fr *frameReader) (FlowMod, error) {
+	var fm FlowMod
+	cmd, ok := fr.u8()
+	if !ok {
+		return fm, errTruncated
+	}
+	fm.Command = FlowModCommand(cmd)
+	if err := decodeRule(fr, &fm.Rule); err != nil {
+		return fm, err
+	}
+	if fm.Owner, ok = fr.str(); !ok {
+		return fm, errTruncated
+	}
+	if fm.Version, ok = fr.i32(); !ok {
+		return fm, errTruncated
+	}
+	return fm, nil
+}
+
+func decodeRule(fr *frameReader, r *dataplane.Rule) error {
+	var ok bool
+	if r.Priority, ok = fr.i32(); !ok {
+		return errTruncated
+	}
+	inPort, ok := fr.i32()
+	if !ok {
+		return errTruncated
+	}
+	r.Match.InPort = dataplane.PortID(inPort)
+	if r.Match.HasLabel, ok = fr.boolean(); !ok {
+		return errTruncated
+	}
+	label, ok := fr.u32()
+	if !ok {
+		return errTruncated
+	}
+	r.Match.Label = dataplane.Label(label)
+	if r.Match.MatchNoLabel, ok = fr.boolean(); !ok {
+		return errTruncated
+	}
+	if r.Match.UE, ok = fr.str(); !ok {
+		return errTruncated
+	}
+	if r.Match.SrcIP, ok = fr.str(); !ok {
+		return errTruncated
+	}
+	if r.Match.DstPrefix, ok = fr.str(); !ok {
+		return errTruncated
+	}
+	if r.Match.QoS, ok = fr.i32(); !ok {
+		return errTruncated
+	}
+	nActs, ok := fr.u16()
+	if !ok {
+		return errTruncated
+	}
+	if nActs > 0 {
+		r.Actions = make([]dataplane.Action, 0, min(int(nActs), 256))
+		for i := 0; i < int(nActs); i++ {
+			op, ok := fr.u8()
+			if !ok {
+				return errTruncated
+			}
+			port, ok := fr.i32()
+			if !ok {
+				return errTruncated
+			}
+			label, ok := fr.u32()
+			if !ok {
+				return errTruncated
+			}
+			r.Actions = append(r.Actions, dataplane.Action{
+				Op: dataplane.ActionOp(op), Port: dataplane.PortID(port),
+				Label: dataplane.Label(label),
+			})
+		}
+	}
+	if r.Version, ok = fr.i32(); !ok {
+		return errTruncated
+	}
+	if r.Owner, ok = fr.str(); !ok {
+		return errTruncated
+	}
+	demand, ok := fr.u64()
+	if !ok {
+		return errTruncated
+	}
+	r.Demand = math.Float64frombits(demand)
+	return nil
+}
+
+func decodeGobBody(fr *frameReader, m *Msg) error {
+	n, ok := fr.u32()
+	if !ok || n > MaxFrameSize {
+		return errTruncated
+	}
+	blob, ok := fr.take(int(n))
+	if !ok {
+		return errTruncated
+	}
+	registerWireGob()
+	var inner Msg
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&inner); err != nil {
+		return wireErrorf("gob body: %v", err)
+	}
+	if inner.Type != m.Type {
+		return wireErrorf("gob body type %s under %s envelope", inner.Type, m.Type)
+	}
+	m.Body = inner.Body
+	return nil
+}

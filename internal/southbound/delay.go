@@ -1,0 +1,130 @@
+package southbound
+
+import (
+	"sync"
+	"time"
+)
+
+// DelayedConn wraps a Conn and holds every Send back by a fixed duration,
+// emulating the one-way propagation delay of a WAN control channel.
+// Sends are pipelined, not stop-and-wait: a burst of messages is released
+// as the same burst one delay later, exactly like frames in flight on a
+// long link. Wrapping the connection an agent serves therefore delays the
+// device→controller leg (replies and events) while controller→device
+// stays immediate — one wrapped direction models the full round trip.
+//
+// The wall clock here only shapes measured latency; it never feeds
+// replayable state, so the workload harness's seed determinism is
+// unaffected.
+type DelayedConn struct {
+	inner Conn
+	delay time.Duration
+
+	mu     sync.Mutex
+	q      []delayedMsg // guarded by mu; FIFO, popped only by forward
+	head   int          // guarded by mu; index of the first unsent entry
+	closed bool         // guarded by mu
+
+	wake chan struct{} // cap 1, kicked on enqueue
+	done chan struct{} // closed on Close
+}
+
+type delayedMsg struct {
+	m   Msg
+	due time.Time
+}
+
+// NewDelayedConn wraps inner so every Send is delivered delay later.
+func NewDelayedConn(inner Conn, delay time.Duration) *DelayedConn {
+	c := &DelayedConn{
+		inner: inner,
+		delay: delay,
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go c.forward()
+	return c
+}
+
+// Send implements Conn: the message is queued for delivery one delay from
+// now and the call returns immediately (an agent emitting a reply is not
+// the party paying the propagation time — the wire is).
+func (c *DelayedConn) Send(m Msg) error {
+	due := time.Now().Add(c.delay) //softmow:allow determinism emulated propagation delay shapes measured latency only, never replayable state
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.q = append(c.q, delayedMsg{m: m, due: due})
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Recv implements Conn, undelayed (the opposite leg is modeled by
+// wrapping the peer's conn instead).
+func (c *DelayedConn) Recv() (Msg, error) { return c.inner.Recv() }
+
+// Close implements Conn. Queued but undelivered messages are dropped, as
+// frames in flight are when a link dies.
+func (c *DelayedConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	return c.inner.Close()
+}
+
+// forward is the wire: it releases queued messages to the inner conn when
+// their delay elapses, preserving FIFO order.
+func (c *DelayedConn) forward() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		c.mu.Lock()
+		var next delayedMsg
+		have := c.head < len(c.q)
+		if have {
+			next = c.q[c.head]
+		} else if c.head > 0 {
+			// Fully drained: release the backing array.
+			c.q, c.head = nil, 0
+		}
+		c.mu.Unlock()
+		if !have {
+			select {
+			case <-c.wake:
+				continue
+			case <-c.done:
+				return
+			}
+		}
+		if d := time.Until(next.due); d > 0 { //softmow:allow determinism emulated propagation delay shapes measured latency only, never replayable state
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-c.done:
+				return
+			}
+		}
+		c.mu.Lock()
+		c.head++
+		c.mu.Unlock()
+		if err := c.inner.Send(next.m); err != nil {
+			// The inner conn is gone; everything behind this message dies
+			// with it, exactly as it would on a real broken link.
+			return
+		}
+	}
+}

@@ -6,7 +6,10 @@ import (
 	"repro/internal/dataplane"
 )
 
-// MsgType enumerates protocol message types.
+// MsgType enumerates protocol message types. The values are wire
+// contract: the binary codec (codec.go) writes the enum value as the
+// frame's type byte, so new types must be appended at the end of the
+// iota block, never inserted.
 type MsgType int
 
 const (
@@ -65,7 +68,10 @@ func (t MsgType) String() string {
 }
 
 // Msg is the protocol envelope. Body holds one of the typed payload structs
-// below according to Type.
+// below according to Type. On the wire the envelope is framed by the
+// binary codec — length prefix, version byte, type byte, xid, datapath —
+// with the body hand-encoded per type (see codec.go for the layout and
+// DESIGN.md §7 for the frame table).
 type Msg struct {
 	Type MsgType
 	// Xid correlates requests and replies.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataplane"
 	"repro/internal/interdomain"
 	"repro/internal/reca"
+	"repro/internal/southbound"
 )
 
 // Region is one leaf region of a generated cluster.
@@ -35,45 +36,16 @@ type Cluster struct {
 	Regions []Region
 }
 
-// delayDevice emulates the control-channel round trip of a WAN-separated
-// switch: every southbound mutation sleeps controlDelay before reaching
-// the device, so concurrent operations overlap their waits exactly as
-// pipelined controller I/O does (the same model as core's southbound
-// benchmarks, which emulate the delay at the connection layer). The wall
-// clock never feeds replayable state — the sleeps only shape measured
-// throughput.
-type delayDevice struct {
-	core.Device
-	core.RemoteSouthbound // flush concurrently across path devices
-	delay                 time.Duration
-}
-
-func (d delayDevice) InstallRule(r dataplane.Rule) error {
-	time.Sleep(d.delay)
-	return d.Device.InstallRule(r)
-}
-
-func (d delayDevice) RemoveRules(owner string) error {
-	time.Sleep(d.delay)
-	return d.Device.RemoveRules(owner)
-}
-
-func (d delayDevice) RemoveRulesBefore(owner string, version int) error {
-	time.Sleep(d.delay)
-	return d.Device.RemoveRulesBefore(owner, version)
-}
-
-func (d delayDevice) RemoveRulesVersion(owner string, version int) error {
-	time.Sleep(d.delay)
-	return d.Device.RemoveRulesVersion(owner, version)
-}
-
 // BuildCluster constructs the R-region ring with bsPerRegion base
 // stations per region and the given UE-store shard count on every
 // controller (0 keeps core.DefaultUEShards; 1 is the coarse single-mutex
-// baseline). controlDelay > 0 wraps every leaf's physical switches in a
-// delayDevice emulating controller↔switch WAN latency. Construction is
-// deterministic — no RNG is consumed.
+// baseline). controlDelay > 0 re-attaches every leaf's physical switches
+// through the real southbound protocol — a switch agent served over an
+// in-memory pipe whose device→controller leg is held back by a
+// DelayedConn — so the workload exercises the binary codec, the
+// ConnDevice completion pipeline, and genuine WAN round-trip overlap
+// rather than a per-call sleep. Construction is deterministic — no RNG
+// is consumed.
 func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) (*Cluster, error) {
 	if regions < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
@@ -152,17 +124,26 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 		}
 	}
 	if controlDelay > 0 {
-		// Shadow each leaf's physical switch adapters with the delay
-		// wrapper; the inner device stays attached underneath, so the
-		// controller back-pointer (packet-in, port-status delivery) keeps
-		// pointing at the real adapter (the chaos harness wraps its
-		// FaultyDevice the same way).
+		// Replace each leaf's in-process switch adapters with protocol
+		// devices: a real agent per switch served over a pipe, replies
+		// delayed by the emulated propagation time. Fences across switches
+		// overlap through the ConnDevice barrier-completion pipeline, so a
+		// multi-device path setup pays ~one delay of wall time, not one
+		// per device — the behavior the paper's WAN deployment depends on.
 		for _, leaf := range hier.Leaves {
 			for _, d := range leaf.Devices() {
-				if net.Switch(d.ID()) == nil {
+				sw := net.Switch(d.ID())
+				if sw == nil {
 					continue // G-switch or other virtual device
 				}
-				leaf.AttachDevice(delayDevice{Device: d, delay: controlDelay})
+				agent := southbound.NewSwitchAgent(net, sw)
+				ctrlEnd, devEnd := southbound.Pipe(256)
+				go agent.Serve(southbound.NewDelayedConn(devEnd, controlDelay))
+				cd, err := core.DialDevice(ctrlEnd, leaf.ID)
+				if err != nil {
+					return nil, fmt.Errorf("workload: dial %s: %w", d.ID(), err)
+				}
+				leaf.AttachDevice(cd)
 			}
 		}
 	}

@@ -39,8 +39,11 @@ type Config struct {
 	// lanes by UE, so same-UE operations execute in schedule order while
 	// distinct UEs proceed in parallel.
 	Workers int
-	// MaxInFlight bounds admitted-but-unfinished operations in open-loop
-	// mode (the admission window). Ignored in closed-loop mode.
+	// MaxInFlight bounds admitted-but-unfinished operations. In open-loop
+	// mode it is the admission window; in closed-loop mode it sets the
+	// per-lane pipeline depth (MaxInFlight/Workers, min 1): each lane
+	// keeps that many distinct-UE operations in flight, overlapping their
+	// southbound round trips while same-UE operations stay ordered.
 	MaxInFlight int
 	// RatePerSec is the open-loop target arrival rate; 0 means admit as
 	// fast as the window allows.
@@ -53,11 +56,13 @@ type Config struct {
 	// random region's prefix instead of the serving region's own — the
 	// knob that exercises cross-region transit paths.
 	RemotePrefixShare float64
-	// ControlDelay emulates the controller↔switch WAN round trip on every
-	// southbound mutation (0 = in-process, no delay). With a nonzero
-	// delay, operations are I/O-bound and throughput scaling comes from
-	// overlapping waits across concurrent UEs — the regime the sharded UE
-	// store exists for.
+	// ControlDelay emulates the controller↔switch control-channel
+	// propagation delay (0 = direct in-process devices). With a nonzero
+	// delay every physical switch attaches over the real southbound
+	// protocol — an agent served over a pipe whose replies are held back
+	// by a DelayedConn — so operations are I/O-bound and throughput
+	// scaling comes from pipelining fences across devices and from
+	// overlapping waits across concurrent UEs.
 	ControlDelay time.Duration
 }
 
@@ -220,12 +225,20 @@ func (e *Engine) Run() *Result {
 func (e *Engine) lane(op Op) int { return op.UE % e.cfg.Workers }
 
 // runClosed partitions the schedule into per-lane slices and drains them
-// concurrently, each lane as fast as its operations complete.
+// concurrently. Each lane pipelines up to MaxInFlight/Workers operations:
+// ops for distinct UEs overlap their southbound round trips, while ops
+// for the same UE chain on the previous one's completion so per-UE
+// schedule order — the property the replayable state digest depends on —
+// is preserved exactly as in the serial engine.
 func (e *Engine) runClosed(ops []Op) {
 	lanes := make([][]Op, e.cfg.Workers)
 	for _, op := range ops {
 		l := e.lane(op)
 		lanes[l] = append(lanes[l], op)
+	}
+	window := e.cfg.MaxInFlight / e.cfg.Workers
+	if window < 1 {
+		window = 1
 	}
 	var wg sync.WaitGroup
 	for _, lane := range lanes {
@@ -235,12 +248,45 @@ func (e *Engine) runClosed(ops []Op) {
 		wg.Add(1)
 		go func(lane []Op) {
 			defer wg.Done()
-			for _, op := range lane {
-				e.execTimed(op)
-			}
+			e.drainLane(lane, window)
 		}(lane)
 	}
 	wg.Wait()
+}
+
+// drainLane executes one lane's ops with the given pipeline depth.
+func (e *Engine) drainLane(lane []Op, window int) {
+	if window == 1 {
+		for _, op := range lane {
+			e.execTimed(op)
+		}
+		return
+	}
+	sem := make(chan struct{}, window)
+	// waits chains same-UE ops: each op waits on the completion of the
+	// UE's previously issued op before executing. A blocked op holds its
+	// window slot, but the head of every wait chain is always running, so
+	// the lane cannot deadlock.
+	waits := make(map[int]chan struct{}, window)
+	for _, op := range lane {
+		prev := waits[op.UE]
+		done := make(chan struct{})
+		waits[op.UE] = done
+		sem <- struct{}{}
+		go func(op Op, prev, done chan struct{}) {
+			defer func() {
+				<-sem
+				close(done)
+			}()
+			if prev != nil {
+				<-prev
+			}
+			e.execTimed(op)
+		}(op, prev, done)
+	}
+	for i := 0; i < window; i++ {
+		sem <- struct{}{}
+	}
 }
 
 // runOpen admits the schedule in order: each op waits for its paced
