@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-workload docs-check lint fuzz
+.PHONY: build test vet race chaos check bench bench-workload smoke-dist docs-check lint fuzz
 
 build:
 	$(GO) build ./...
@@ -41,9 +41,11 @@ check: vet race docs-check lint
 # results as JSON lines in BENCH_routing.json (the committed baseline for
 # spotting regressions; compare with `git diff BENCH_routing.json`).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkBuildGraph|BenchmarkShortestPath|BenchmarkMetricsFrom|BenchmarkPairMetrics|BenchmarkCompute|BenchmarkRouteRecursive|BenchmarkGraphCacheHit|BenchmarkBearerSetup' \
+	( printf '{"config":{"go_version":"%s","gomaxprocs":%s,"num_cpu":%s}}\n' \
+	    "$$($(GO) env GOVERSION)" "$${GOMAXPROCS:-$$(nproc)}" "$$(nproc)"; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkBuildGraph|BenchmarkShortestPath|BenchmarkMetricsFrom|BenchmarkPairMetrics|BenchmarkCompute|BenchmarkRouteRecursive|BenchmarkGraphCacheHit|BenchmarkBearerSetup' \
 	  -benchmem ./internal/routing ./internal/reca ./internal/core \
-	  | awk '/^Benchmark/ { gsub(/-[0-9]+$$/, "", $$1); printf("{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n", $$1, $$2, $$3, $$5, $$7) }' \
+	  | awk '/^Benchmark/ { gsub(/-[0-9]+$$/, "", $$1); printf("{\"name\":\"%s\",\"iters\":%s,\"ns_op\":%s,\"b_op\":%s,\"allocs_op\":%s}\n", $$1, $$2, $$3, $$5, $$7) }' ) \
 	  | tee BENCH_routing.json
 
 # Run the deterministic UE workload driver at benchmark scale and record
@@ -54,3 +56,10 @@ bench:
 WORKLOAD_ARGS ?= -seed 1 -regions 4 -ues 100000 -events 200000 -compare -shards 16
 bench-workload:
 	$(GO) run ./cmd/loadgen $(WORKLOAD_ARGS) -out BENCH_workload.json
+
+# Distributed smoke: a fixed-seed 2-process cluster over localhost TCP
+# whose replay digests must match the in-process run of the same seed
+# (the CI multi-process gate, runnable locally).
+smoke-dist:
+	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
+	  -procs 2 -verify-inproc -out /tmp/BENCH_workload_dist.json

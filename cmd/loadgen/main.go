@@ -11,6 +11,18 @@
 //	go run ./cmd/loadgen -seed 1 -compare -shards 16   # baseline speedup
 //	go run ./cmd/loadgen -seed 1 -mode open -rate 20000 -inflight 256
 //	go run ./cmd/loadgen -seed 1 -lte-minute 720       # noon diurnal mix
+//
+// With -procs N the run is distributed: the process becomes the cluster
+// launcher, hosting the root controller and spawning N region processes
+// (itself re-exec'd with -as-region, or the binary named by -region-bin,
+// e.g. a built cmd/region). The regions are split contiguously among the
+// processes, each builds only its slice of the data plane, and the tree
+// is assembled over localhost TCP northbound connections. The schedule
+// and final state are replay-identical to the in-process run at the same
+// seed — -verify-inproc re-runs in-process and checks the digests match:
+//
+//	go run ./cmd/loadgen -seed 1 -procs 4 -regions 8 -ues 1000000
+//	go run ./cmd/loadgen -seed 1 -procs 2 -verify-inproc
 package main
 
 import (
@@ -19,8 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -54,8 +69,16 @@ func realMain() int {
 		compare   = flag.Bool("compare", false, "run a bearer-heavy pass at -shards 1 and again at -shards, report the speedup")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		mtxProf   = flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
+		procs     = flag.Int("procs", 0, "region processes: >0 runs the distributed multi-process mode with the regions split contiguously among this many processes (0 = in-process)")
+		regionBin = flag.String("region-bin", "", "region process binary for -procs (empty = re-exec this binary with -as-region)")
+		verify    = flag.Bool("verify-inproc", false, "after a -procs run, re-run in-process and require identical replay digests")
+		asRegion  = flag.Bool("as-region", false, "run as a region process under a launcher (internal; reads config and commands from stdin)")
 	)
 	flag.Parse()
+
+	if *asRegion {
+		return regionMode()
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -92,9 +115,39 @@ func realMain() int {
 		cfg.Mix, cfg.BSWeights = workload.MixFromLTE(ltetrace.Params{}, *lteMinute, *regions, *bsPer)
 	}
 
-	rep, err := run(cfg)
+	var (
+		rep *workload.Report
+		err error
+	)
+	if *procs > 0 {
+		argv, aerr := regionArgv(*regionBin)
+		if aerr != nil {
+			fatal(aerr)
+		}
+		rep, err = workload.RunDistributed(cfg, *procs, argv)
+	} else {
+		rep, err = run(cfg)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if *verify {
+		if *procs <= 0 {
+			fatal(fmt.Errorf("-verify-inproc requires -procs"))
+		}
+		ref, rerr := run(cfg)
+		if rerr != nil {
+			fatal(fmt.Errorf("verify pass: %w", rerr))
+		}
+		fmt.Printf("loadgen: verify: distributed trace %s state %s ues %d | in-process trace %s state %s ues %d\n",
+			rep.TraceDigest, rep.StateDigest, rep.FinalUEs,
+			ref.TraceDigest, ref.StateDigest, ref.FinalUEs)
+		if rep.TraceDigest != ref.TraceDigest || rep.StateDigest != ref.StateDigest ||
+			rep.FinalUEs != ref.FinalUEs || rep.Failures != ref.Failures {
+			fmt.Fprintln(os.Stderr, "loadgen: verify-inproc FAILED: distributed run diverged from in-process replay")
+			return 1
+		}
+		fmt.Println("loadgen: verify-inproc OK: digests identical")
 	}
 	if *trace != "" {
 		if err := writeTrace(*trace, cfg); err != nil {
@@ -139,10 +192,56 @@ func realMain() int {
 			rep.Baseline.ShardedShards, rep.Baseline.ShardedEPS,
 			rep.Baseline.BaselineEPS, rep.Baseline.Speedup)
 	}
+	if rep.Distributed != nil {
+		for _, pp := range rep.Distributed.Per {
+			fmt.Printf("loadgen: proc %d regions [%d,%d): %d events, %.0f ev/s\n",
+				pp.Proc, pp.Lo, pp.Hi, pp.Events, pp.EventsPerSec)
+		}
+		fmt.Printf("loadgen: %d procs aggregate: %.0f ev/s\n",
+			rep.Distributed.Procs, rep.Distributed.AggregateEPS)
+	}
 	if rep.Failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// regionMode serves the region-process protocol on stdio (the -as-region
+// re-exec path), mirroring cmd/region including the SIGTERM drain.
+func regionMode() int {
+	var cur atomic.Pointer[workload.RegionProc]
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sig
+		if p := cur.Load(); p != nil {
+			if err := p.Drain(5 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen: region drain:", err)
+			}
+			p.Close()
+		}
+		os.Exit(0)
+	}()
+	err := workload.RegionMain(os.Stdin, os.Stdout, func(p *workload.RegionProc) {
+		cur.Store(p)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen: region:", err)
+		return 1
+	}
+	return 0
+}
+
+// regionArgv resolves the command line for spawned region processes.
+func regionArgv(regionBin string) ([]string, error) {
+	if regionBin != "" {
+		return []string{regionBin}, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	return []string{exe, "-as-region"}, nil
 }
 
 // run executes one configured pass and assembles its report.

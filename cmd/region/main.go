@@ -1,0 +1,49 @@
+// Command region runs one region process of a distributed SoftMoW
+// cluster. A launcher (cmd/loadgen -procs, or anything speaking the same
+// stdio protocol) hands it a JSON RegionConfig on the first stdin line —
+// the shared workload config plus the contiguous region slice this
+// process owns — then sequences CONNECT/PROP/RUN/QUIT command lines. The
+// process builds only its slice of the data plane, attaches each owned
+// leaf controller to the launcher's root over the northbound wire
+// (localhost TCP, length-prefixed binary frames), and executes its share
+// of the deterministic schedule.
+//
+// On SIGTERM or SIGINT the process drains before exiting: outstanding
+// northbound requests and southbound fences are given up to five seconds
+// to complete so no half-installed batch is stranded behind a closing
+// connection.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	var cur atomic.Pointer[workload.RegionProc]
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		<-sig
+		if p := cur.Load(); p != nil {
+			if err := p.Drain(5 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "region: drain:", err)
+			}
+			p.Close()
+		}
+		os.Exit(0)
+	}()
+	err := workload.RegionMain(os.Stdin, os.Stdout, func(p *workload.RegionProc) {
+		cur.Store(p)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "region:", err)
+		os.Exit(1)
+	}
+}

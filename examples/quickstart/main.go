@@ -87,7 +87,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("bearer admitted: resolved by %s (delegated=%v)\n",
-		rec.HandledBy.ID, rec.HandledBy != l1)
+		rec.HandledBy.OwnerID(), rec.HandledBy != core.PathOwner(l1))
 
 	// 5. Drive a packet from the UE. Every physical link carries at most
 	//    one label (§4.3), and the packet leaves unlabeled at the egress.

@@ -40,11 +40,11 @@ func (h *Harness) checkUEConsistency() error {
 				p, ok := rec.HandledBy.Path(rec.PathID)
 				if !ok {
 					return fmt.Errorf("%s: active UE %s points at unknown path %d on %s",
-						c.ID, rec.UE, rec.PathID, rec.HandledBy.ID)
+						c.ID, rec.UE, rec.PathID, rec.HandledBy.OwnerID())
 				}
 				if !p.Active {
 					return fmt.Errorf("%s: active UE %s points at deactivated path %d on %s",
-						c.ID, rec.UE, rec.PathID, rec.HandledBy.ID)
+						c.ID, rec.UE, rec.PathID, rec.HandledBy.OwnerID())
 				}
 			}
 			if rec.Group != "" {

@@ -55,6 +55,10 @@ type ConnDevice struct {
 	// before any controller was attached; setController replays them.
 	// guarded by mu.
 	backlog []southbound.Msg
+	// peerHandler receives child-originated northbound requests (messages
+	// whose type reports PeerRequest) when the far end of this conn is a
+	// child controller's RecA agent rather than a switch. guarded by mu.
+	peerHandler func(southbound.Msg)
 
 	// dlKick wakes the deadline loop after an append to an empty queue.
 	dlKick chan struct{}
@@ -169,6 +173,43 @@ func (d *ConnDevice) controller() *Controller {
 	return d.ctrl
 }
 
+// SetPeerHandler installs the callback for child-originated northbound
+// requests arriving on this conn (delegation, handover ascent, interdomain
+// pushes). The handler runs on its own goroutine per request and may issue
+// synchronous southbound operations back through this device.
+func (d *ConnDevice) SetPeerHandler(h func(southbound.Msg)) {
+	d.mu.Lock()
+	d.peerHandler = h
+	d.mu.Unlock()
+}
+
+func (d *ConnDevice) peerHandlerRef() func(southbound.Msg) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peerHandler
+}
+
+// Drain waits for every in-flight modification, fence, and synchronous
+// request on this device to complete, or for the timeout to elapse. A
+// region process calls it on SIGTERM so a cluster teardown never strands a
+// half-installed batch behind a closed connection.
+func (d *ConnDevice) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout) //softmow:allow determinism shutdown pacing only, never feeds replayable state
+	for {
+		d.mu.Lock()
+		n := len(d.mods) + len(d.barriers) + len(d.pending)
+		closed := d.closed
+		d.mu.Unlock()
+		if n == 0 || closed {
+			return nil
+		}
+		if !time.Now().Before(deadline) { //softmow:allow determinism shutdown pacing only, never feeds replayable state
+			return fmt.Errorf("core: device %s: %d operations still in flight after %v", d.id, n, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 // Close tears down the connection, fails pending requests, and completes
 // every outstanding fence with ErrClosed.
 func (d *ConnDevice) Close() error {
@@ -219,6 +260,18 @@ func (d *ConnDevice) pump() {
 		m, err := d.conn.Recv()
 		if err != nil {
 			return
+		}
+		// Child-originated northbound requests carry xids from the CHILD's
+		// counter, which collides with this side's fence xids — route them
+		// by type before any xid table is consulted. Each request runs on
+		// its own goroutine: handlers do southbound work back over this
+		// very conn, so handling inline would deadlock the fences the
+		// handler waits on.
+		if m.Type.PeerRequest() {
+			if h := d.peerHandlerRef(); h != nil {
+				go h(m)
+			}
+			continue
 		}
 		// Reply routing.
 		if m.Xid != 0 {
@@ -377,6 +430,12 @@ func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 		return southbound.Msg{}, fmt.Errorf("core: request to %s timed out", d.id)
 	}
 }
+
+// Request performs one synchronous request round trip on the device's
+// conn with a fresh transaction ID, returning the typed reply. It is the
+// entry point for northbound pushes that ride a device channel — UE-state
+// transfers to a remote child — without exposing the xid machinery.
+func (d *ConnDevice) Request(m southbound.Msg) (southbound.Msg, error) { return d.request(m) }
 
 // ID implements Device.
 func (d *ConnDevice) ID() dataplane.DeviceID { return d.id }

@@ -68,6 +68,9 @@ type Controller struct {
 	mu sync.Mutex
 	// parent is the tree parent, guarded by mu.
 	parent *Controller
+	// parentLink is the northbound channel to the parent (in-process or
+	// wire-backed), guarded by mu.
+	parentLink ParentLink
 	// devices maps attached device IDs to adapters, guarded by mu.
 	devices map[dataplane.DeviceID]Device
 	// children maps child G-switch IDs to child controllers, guarded by mu.
@@ -195,6 +198,7 @@ func (c *Controller) AttachChild(child *Controller) {
 	ld := &logicalDevice{child: child}
 	child.mu.Lock()
 	child.parent = c
+	child.parentLink = localParent{parent: c, child: child}
 	child.mu.Unlock()
 	c.mu.Lock()
 	c.children[child.GSwitchID()] = child
@@ -281,6 +285,7 @@ func (c *Controller) refreshDevice(d Device) {
 		dev.Ports = append(dev.Ports, nib.PortRecord{
 			ID: p.ID, Up: p.Up, External: p.External,
 			ExternalDomain: p.ExternalDomain, Radio: p.Radio,
+			Underlying: p.Underlying,
 		})
 	}
 	c.NIB.PutDevice(dev)

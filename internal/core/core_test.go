@@ -179,7 +179,7 @@ func TestLocalBearerPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rec.HandledBy != f.l1 {
-		t.Fatalf("handled by %s, want L1", rec.HandledBy.ID)
+		t.Fatalf("handled by %s, want L1", rec.HandledBy.OwnerID())
 	}
 	// Drive a packet from the UE through the radio port.
 	pkt := &dataplane.Packet{UE: "u1", DstPrefix: "pfxNear", QoS: 1}
@@ -208,7 +208,7 @@ func TestDelegatedBearerPathCrossesRegions(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rec.HandledBy != f.root {
-		t.Fatalf("handled by %s, want root (delegation)", rec.HandledBy.ID)
+		t.Fatalf("handled by %s, want root (delegation)", rec.HandledBy.OwnerID())
 	}
 	if f.l1.StatsSnapshot().DelegatedRequests == 0 {
 		t.Fatal("delegation counter")

@@ -69,9 +69,9 @@ func (c *Controller) HandleDiscoveryArrival(dev dataplane.DeviceID, port datapla
 	if f.Depth() == 0 {
 		return // cannot return to the initiator: no link at any ancestor
 	}
-	parent := c.Parent()
+	pl := c.ParentLinkRef()
 	ab := c.Abstraction()
-	if parent == nil || ab == nil {
+	if pl == nil || ab == nil {
 		return
 	}
 	// Translate the arrival point to the exposed border port.
@@ -80,7 +80,7 @@ func (c *Controller) HandleDiscoveryArrival(dev dataplane.DeviceID, port datapla
 		return // arrival on a hidden port: not a border crossing
 	}
 	f.Receive = discovery.StackEntry{Controller: c.ID, Device: c.GSwitchID(), Port: gport}
-	parent.HandleDiscoveryArrival(c.GSwitchID(), gport, f)
+	pl.DiscoveryArrival(gport, f)
 }
 
 // exposedPortFor maps an underlying (device, port) to this controller's

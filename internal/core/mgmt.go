@@ -129,6 +129,16 @@ func (h *Hierarchy) initLeaf(leaf *Controller, spec LeafSpec) error {
 	return nil
 }
 
+// BootstrapLeaf attaches a leaf controller to its region's switches and
+// runs its bootstrap (config, radio index, discovery, abstraction) outside
+// any Hierarchy — the entry point for distributed deployments where a
+// region process builds only its own slice of the data plane and the tree
+// is assembled over the northbound wire instead of AttachChild.
+func BootstrapLeaf(net *dataplane.Network, leaf *Controller, spec LeafSpec) error {
+	h := &Hierarchy{Net: net}
+	return h.initLeaf(leaf, spec)
+}
+
 // finishLevel completes a non-leaf controller's bootstrap.
 func (h *Hierarchy) finishLevel(c *Controller) { h.finishLevelWith(c, nil) }
 

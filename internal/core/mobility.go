@@ -41,7 +41,9 @@ type UERecord struct {
 	PathID PathID
 	// HandledBy is the controller that computed and owns the path (§5.1:
 	// "whether the UE request has been handled locally or by the parent").
-	HandledBy *Controller
+	// In one process it is the owning *Controller; in a distributed tree a
+	// northbound proxy that forwards teardowns over the wire.
+	HandledBy PathOwner
 	Active    bool
 }
 
@@ -124,23 +126,44 @@ func (c *Controller) handleBearerRequestLocked(req BearerRequest) (*UERecord, er
 	if !ok {
 		return nil, fmt.Errorf("core: group %s has no attachment", group)
 	}
-	res, err := c.RouteRecursive(RouteRequest{
+	routeReq := RouteRequest{
 		From:         attach,
 		Prefix:       req.Prefix,
 		Objective:    req.Objective,
 		Constraints:  req.Constraints,
 		MaxTotalHops: req.MaxTotalHops,
-	})
-	if err != nil {
-		return nil, err
 	}
 	match := dataplane.Match{
 		InPort: dataplane.PortAny, UE: req.UE, SrcIP: req.SrcIP,
 		DstPrefix: string(req.Prefix), QoS: req.QoS,
 	}
-	pathID, err := res.ResolvedBy.SetupPathWithDemand(match, res.Path, req.Constraints.MinBandwidth)
-	if err != nil {
-		return nil, err
+	// Route locally first; when this region cannot satisfy the QoS the
+	// request ascends the northbound (§4.2) and the resolving ancestor
+	// implements the path and returns its handle.
+	var pathID PathID
+	var owner PathOwner
+	if res, err := c.Route(routeReq); err == nil {
+		if pathID, err = c.SetupPathWithDemand(match, res.Path, req.Constraints.MinBandwidth); err != nil {
+			return nil, err
+		}
+		owner = c
+	} else {
+		pl := c.ParentLinkRef()
+		if pl == nil {
+			return nil, ErrNoRoute
+		}
+		gport, ok := c.sourceGPort(routeReq.From)
+		if !ok {
+			return nil, fmt.Errorf("%w: source %v not exposed to parent", ErrNoRoute, routeReq.From)
+		}
+		c.mu.Lock()
+		c.stats.DelegatedRequests++
+		c.mu.Unlock()
+		up := routeReq
+		up.From = dataplane.PortRef{Dev: c.GSwitchID(), Port: gport}
+		if pathID, owner, err = pl.DelegateBearer(up, match, req.Constraints.MinBandwidth); err != nil {
+			return nil, err
+		}
 	}
 	// Re-admission replaces the UE's default bearer: release the previous
 	// path so a repeated attach (or an intra-region handover) cannot leak
@@ -152,7 +175,7 @@ func (c *Controller) handleBearerRequestLocked(req BearerRequest) (*UERecord, er
 	}
 	rec := &UERecord{
 		UE: req.UE, BS: req.BS, Group: group, Prefix: req.Prefix, QoS: req.QoS,
-		PathID: pathID, HandledBy: res.ResolvedBy, Active: true,
+		PathID: pathID, HandledBy: owner, Active: true,
 	}
 	c.ue.put(rec)
 	c.mu.Lock()
@@ -253,15 +276,15 @@ func (c *Controller) handoverLocked(ue string, dstGBS, dstBS dataplane.DeviceID)
 	if !ok {
 		return fmt.Errorf("core: group %s has no exposed G-BS", rec.Group)
 	}
-	parent := c.Parent()
-	if parent == nil {
+	pl := c.ParentLinkRef()
+	if pl == nil {
 		return fmt.Errorf("core: no ancestor for inter-region handover of %s", ue)
 	}
 	req := HandoverRequest{
 		UE: ue, SrcGBS: srcGBS, SrcBS: rec.BS, DstGBS: dstGBS, DstBS: dstBS,
 		Prefix: rec.Prefix, QoS: rec.QoS,
 	}
-	newPath, handledBy, err := parent.handleInterRegionHandover(req)
+	newPath, handledBy, err := pl.InterRegionHandover(req)
 	if err != nil {
 		return err
 	}
@@ -309,18 +332,18 @@ func (c *Controller) gbsOfGroup(group dataplane.DeviceID) (dataplane.DeviceID, b
 // handleInterRegionHandover runs the §5.2 ancestor procedure: if this
 // controller sees both G-BSes it implements the new path (and a transfer
 // path for in-flight packets); otherwise it delegates upward.
-func (c *Controller) handleInterRegionHandover(req HandoverRequest) (PathID, *Controller, error) {
+func (c *Controller) handleInterRegionHandover(req HandoverRequest) (PathID, PathOwner, error) {
 	srcPort, srcOK := c.findGBSPort(req.SrcGBS)
 	dstPort, dstOK := c.findGBSPort(req.DstGBS)
 	if !srcOK || !dstOK {
-		parent := c.Parent()
-		if parent == nil {
+		pl := c.ParentLinkRef()
+		if pl == nil {
 			return 0, nil, fmt.Errorf("core: no common ancestor for %s -> %s", req.SrcGBS, req.DstGBS)
 		}
 		c.mu.Lock()
 		c.stats.DelegatedRequests++
 		c.mu.Unlock()
-		return parent.handleInterRegionHandover(req)
+		return pl.InterRegionHandover(req)
 	}
 
 	// New egress path for the UE from the target G-BS.

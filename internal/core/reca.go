@@ -49,6 +49,7 @@ func (c *Controller) RecAFeatures() southbound.FeatureReply {
 		fr.Ports = append(fr.Ports, southbound.PortInfo{
 			ID: gp.ID, Up: true, External: gp.External,
 			ExternalDomain: gp.ExternalDomain, Radio: gp.GBS,
+			Underlying: gp.Underlying,
 		})
 	}
 	fr.GBSes = append(fr.GBSes, ab.GBSes...)
@@ -82,16 +83,13 @@ func (c *Controller) RefreshFabric(thresholdMbps float64) bool {
 	c.mu.Lock()
 	c.abstraction = &ab
 	c.mu.Unlock()
-	parent := c.Parent()
-	if parent == nil {
+	pl := c.ParentLinkRef()
+	if pl == nil {
 		return true
 	}
 	// Update the parent's device record in place — ports are unchanged, so
 	// links survive and no rediscovery is needed.
-	if d, ok := parent.NIB.Device(c.GSwitchID()); ok {
-		d.Fabric = ab.GSwitch.Fabric
-		parent.NIB.PutDevice(d)
-	}
+	_ = pl.FabricUpdated(ab.GSwitch.Fabric) //softmow:allow errdiscard §3.2 update is advisory; a failed remote push retries on the next threshold crossing
 	return true
 }
 
@@ -102,13 +100,9 @@ func (c *Controller) RefreshFabric(thresholdMbps float64) bool {
 // changed.
 func (c *Controller) Reabstract() {
 	c.ComputeAbstraction()
-	parent := c.Parent()
-	if parent == nil {
+	pl := c.ParentLinkRef()
+	if pl == nil {
 		return
 	}
-	if d := parent.Device(c.GSwitchID()); d != nil {
-		parent.refreshDevice(d)
-	}
-	parent.RunDiscovery()
-	parent.Reabstract()
+	_ = pl.ChildRefreshed() //softmow:allow errdiscard a failed remote refresh surfaces on the conn; the next reabstraction re-pushes the full view
 }

@@ -67,7 +67,7 @@ func TestTransferBorderGroup(t *testing.T) {
 		t.Fatal(err)
 	}
 	if newRec.HandledBy != f.root {
-		t.Fatalf("handled by %s", newRec.HandledBy.ID)
+		t.Fatalf("handled by %s", newRec.HandledBy.OwnerID())
 	}
 	pkt := &dataplane.Packet{UE: "u10", DstPrefix: "pfxFar"}
 	res, err := f.net.Inject("S3", f.radioB.Port, pkt)
@@ -185,7 +185,7 @@ func TestThreeLevelHierarchy(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rec.HandledBy != root {
-		t.Fatalf("handled by %s, want root", rec.HandledBy.ID)
+		t.Fatalf("handled by %s, want root", rec.HandledBy.OwnerID())
 	}
 	pkt := &dataplane.Packet{UE: "u3l", DstPrefix: "pfx"}
 	res, err := net.Inject("S1", rpA.ID, pkt)

@@ -27,7 +27,7 @@ func TestOptimizeRoutesMovesFlowToBetterEgress(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rec.HandledBy != f.root {
-		t.Fatalf("setup should delegate to root, got %s", rec.HandledBy.ID)
+		t.Fatalf("setup should delegate to root, got %s", rec.HandledBy.OwnerID())
 	}
 	pkt := &dataplane.Packet{UE: "um", DstPrefix: "pfxMoving"}
 	res, _ := f.net.Inject("S1", f.radioA.Port, pkt)

@@ -53,9 +53,20 @@ func (c *Controller) RouteOptions(prefix interdomain.PrefixID) []RouteOption {
 // "Recursively, the RecA agent reads the interdomain routes from NIB and
 // sends it to the parent (with translation to the G-switch)").
 func (c *Controller) PropagateInterdomain() {
-	parent := c.Parent()
-	if parent == nil {
-		return
+	_ = c.propagateInterdomain() //softmow:allow errdiscard in-process push cannot fail; remote children call PropagateInterdomainErr to surface wire errors
+}
+
+// PropagateInterdomainErr is PropagateInterdomain with the northbound
+// push error surfaced — a remote child's serve loop uses it to
+// acknowledge the propagation honestly.
+func (c *Controller) PropagateInterdomainErr() error {
+	return c.propagateInterdomain()
+}
+
+func (c *Controller) propagateInterdomain() error {
+	pl := c.ParentLinkRef()
+	if pl == nil {
+		return nil
 	}
 	c.mu.Lock()
 	// Snapshot in sorted prefix order: the append order below decides how
@@ -72,22 +83,21 @@ func (c *Controller) PropagateInterdomain() {
 	}
 	c.mu.Unlock()
 	gsw := c.GSwitchID()
+	var out []TranslatedRoute
 	for i, prefix := range prefixes {
 		for _, opt := range all[i] {
 			gport, ok := c.exposedPortFor(opt.Ref)
 			if !ok {
 				continue
 			}
-			parent.mu.Lock()
-			parent.routes[prefix] = append(parent.routes[prefix], RouteOption{
+			out = append(out, TranslatedRoute{Prefix: prefix, Option: RouteOption{
 				Egress:   opt.Egress,
 				Ref:      dataplane.PortRef{Dev: gsw, Port: gport},
 				External: opt.External,
-			})
-			parent.mu.Unlock()
+			}})
 		}
 	}
-	parent.PropagateInterdomain()
+	return pl.PushInterdomain(out)
 }
 
 // RouteRequest asks for an end-to-end path from a source port in the

@@ -38,6 +38,11 @@ type PortRecord struct {
 	ExternalDomain string
 	// Radio names the BS group served through this port, if any.
 	Radio dataplane.DeviceID
+	// Underlying is the physical (device, port) a G-switch border port
+	// maps to, when the exposing controller chose to reveal it. A cluster
+	// launcher uses it to stitch inter-G-switch links between region
+	// processes without rediscovery; zero for physical ports.
+	Underlying dataplane.PortRef
 }
 
 // PortByID returns the device's port record, or nil.

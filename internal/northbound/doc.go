@@ -1,0 +1,29 @@
+// Package northbound puts the SoftMoW parent↔child controller channel on
+// the southbound wire framing, so a controller tree can span processes
+// and machines (§7.1's distributed deployment) without changing any core
+// semantics.
+//
+// The design reuses the southbound protocol for the parent→child
+// direction: to its parent a child controller IS a device — the exposed
+// G-switch — so feature reads, virtual-rule installs (FlowMod/Batch),
+// barrier fences, and discovery emissions (PacketOut) ride the exact
+// messages a physical switch answers, served by the child's RecA instead
+// of a switch agent (ParentConn.handle). The child→parent direction adds
+// the TypeNb* request family (delegation §4.2, handover ascent §5.2,
+// teardown forwarding §5.1, interdomain propagation §4.2, fabric and
+// abstraction refresh §3.2/§5.3.2); the parent's ConnDevice routes those
+// by type to this package's dispatcher before any xid table is consulted,
+// because child xids are drawn from the child's own counter.
+//
+// Both directions share one connection per (parent, child) edge:
+//
+//	parent process                         child process
+//	core.DialDevice ── Hello ──────────▶ southbound.Accept
+//	ConnDevice (pump, fences)  ◀─wire─▶  ParentConn (serve loop)
+//	  └ SetPeerHandler → servePeer         └ installed as core.ParentLink
+//
+// AttachRemoteChild is the parent-side entry point; Connect is the
+// child-side one. In-process attachment (core.AttachChild) is untouched —
+// the ParentLink seam in core makes the transport invisible to every
+// upward code path.
+package northbound

@@ -1,0 +1,28 @@
+package northbound
+
+import "repro/internal/core"
+
+// FenceDiscovery flushes in-band discovery across a distributed tree
+// after the parent's RunDiscovery. Over a wire, emissions and arrivals
+// ride asynchronous frames: a Packet-Out to one child can surface as a
+// Packet-In on a *different* child's connection (the frame crossed a
+// region border). Two barrier rounds settle everything:
+//
+//  1. the first round's fences sit behind every Packet-Out in each
+//     child's receive stream, so when they complete every child has
+//     emitted its frames and written the resulting Packet-Ins — on
+//     whichever conn the frames returned through;
+//  2. the second round's fences sit behind those Packet-Ins in each
+//     parent-side receive stream, and the device pump dispatches events
+//     in stream order, so when they complete every discovered link is in
+//     the parent's NIB.
+func FenceDiscovery(devs []*core.ConnDevice) error {
+	for round := 0; round < 2; round++ {
+		for _, d := range devs {
+			if err := d.Barrier(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

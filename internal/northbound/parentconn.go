@@ -1,0 +1,509 @@
+package northbound
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataplane"
+	"repro/internal/discovery"
+	"repro/internal/interdomain"
+	"repro/internal/southbound"
+)
+
+// ParentConn is the child-side endpoint of a wire northbound attachment.
+// One goroutine (serve) owns the receive side and processes parent
+// requests in arrival order, but virtual-rule modifications are only
+// *dispatched* there — each message's mods translate on their own
+// goroutine, and a barrier snapshots the modifications that arrived
+// before it and replies once exactly those have completed. The fence
+// stays true (every earlier mod has fully translated into the region,
+// southbound fences included) while concurrent parent operations overlap
+// their translation round trips instead of serializing behind one
+// another — with several region processes delegating into one parent,
+// the serve loop would otherwise become the cluster-wide bottleneck.
+// Replies to the child's own northbound requests are routed to their
+// waiters by transaction ID.
+//
+// ParentConn implements core.ParentLink, so installing it on a controller
+// routes every upward code path (delegation, handover ascent, teardown
+// forwarding, interdomain propagation, discovery ascent, reabstraction)
+// over the wire with unchanged semantics.
+type ParentConn struct {
+	child *core.Controller
+	conn  southbound.Conn
+	// gswitch is the child's exposed G-switch ID, stamped as the datapath
+	// on every outbound message.
+	gswitch dataplane.DeviceID
+	// parentID is the parent controller's ID, learned from its Hello.
+	parentID string
+
+	mu sync.Mutex
+	// pending maps outstanding child-request xids to their reply
+	// channels, guarded by mu.
+	pending map[uint32]chan southbound.Msg
+	// closed records connection teardown, guarded by mu.
+	closed bool
+
+	xid atomic.Uint32
+
+	// modsInFlight tracks modification messages dispatched off the serve
+	// loop and not yet fenced; owned by the serve goroutine (appended on
+	// mod arrival, swapped out whole by the next barrier), so it needs no
+	// lock.
+	modsInFlight []*modTask
+
+	// RequestTimeout bounds each northbound round trip. Delegated bearer
+	// setups fan out into southbound installs at the parent, so the bound
+	// is looser than a single device round trip.
+	RequestTimeout time.Duration
+}
+
+// Connect answers the parent's southbound handshake on conn on behalf of
+// child (presenting the child's G-switch ID as the device name), installs
+// the resulting link as the child's ParentLink, and starts the serve
+// loop. The caller establishes the transport — typically a TCP dial
+// toward the parent's listener — and hands the conn over; after Connect
+// returns, the child's northbound is live.
+func Connect(child *core.Controller, conn southbound.Conn) (*ParentConn, error) {
+	southbound.RegisterGobTypes(&discovery.Frame{})
+	parentID, err := southbound.Accept(conn, string(child.GSwitchID()))
+	if err != nil {
+		return nil, err
+	}
+	p := &ParentConn{
+		child:          child,
+		conn:           conn,
+		gswitch:        child.GSwitchID(),
+		parentID:       parentID,
+		pending:        make(map[uint32]chan southbound.Msg),
+		RequestTimeout: 30 * time.Second,
+	}
+	if wd, ok := conn.(southbound.WriteDeadliner); ok {
+		wd.SetWriteTimeout(p.RequestTimeout)
+	}
+	child.SetParentLink(p)
+	go p.serve()
+	return p, nil
+}
+
+// ParentID returns the parent controller's ID learned during the
+// handshake.
+func (p *ParentConn) ParentID() string { return p.parentID }
+
+// serve owns the receive side until the connection dies.
+func (p *ParentConn) serve() {
+	defer p.failAll()
+	for {
+		m, err := p.conn.Recv()
+		if err != nil {
+			return
+		}
+		p.handle(m)
+	}
+}
+
+// send transmits one reply or event toward the parent.
+func (p *ParentConn) send(m southbound.Msg) {
+	m.Datapath = p.gswitch
+	_ = p.conn.Send(m) //softmow:allow errdiscard a reply that cannot be sent means the conn died; the parent's fences time out and its teardown resolves the rest
+}
+
+func (p *ParentConn) sendErr(xid uint32, code int, msg string) {
+	p.send(southbound.Msg{Type: southbound.TypeError, Xid: xid,
+		Body: southbound.Error{Code: code, Message: msg}})
+}
+
+// handle answers one parent request, or completes one child request.
+// Mod messages are dispatched to their own goroutines and fenced by the
+// next barrier's snapshot; everything else runs inline on the serve
+// goroutine in arrival order (discovery emissions in particular must
+// stay ordered ahead of the barriers that fence them). Child-originated
+// waits never run here (they block on application goroutines), so inline
+// handling cannot deadlock.
+func (p *ParentConn) handle(m southbound.Msg) {
+	switch m.Type {
+	case southbound.TypeEchoRequest:
+		body, _ := m.Body.(southbound.Echo)
+		p.send(southbound.Msg{Type: southbound.TypeEchoReply, Xid: m.Xid, Body: body})
+
+	case southbound.TypeFeatureRequest:
+		p.send(southbound.Msg{Type: southbound.TypeFeatureReply, Xid: m.Xid, Body: p.child.RecAFeatures()})
+
+	case southbound.TypeFlowMod:
+		fm, ok := m.Body.(southbound.FlowMod)
+		if !ok {
+			p.sendErr(m.Xid, southbound.ErrCodeBadRequest, "malformed flow-mod body")
+			return
+		}
+		p.startMods(m.Xid, []southbound.FlowMod{fm})
+
+	case southbound.TypeFlowModBatch:
+		fb, ok := m.Body.(southbound.FlowModBatch)
+		if !ok {
+			p.sendErr(m.Xid, southbound.ErrCodeBadRequest, "malformed flow-mod batch body")
+			return
+		}
+		p.startMods(m.Xid, fb.Mods)
+
+	case southbound.TypeBarrierRequest:
+		// Fence exactly the modifications that arrived before this
+		// barrier: snapshot the in-flight set (later mods start a fresh
+		// one) and reply when all of them have fully translated into the
+		// child's region. The wait runs off the serve goroutine so
+		// translation round trips of back-to-back parent operations
+		// overlap; the parent matches replies by xid, so fence replies
+		// completing out of order are harmless.
+		tasks := p.modsInFlight
+		p.modsInFlight = nil
+		go p.completeFence(m.Xid, tasks)
+
+	case southbound.TypePacketOut:
+		po, ok := m.Body.(southbound.PacketOut)
+		if !ok {
+			return
+		}
+		if f, isFrame := po.Control.(*discovery.Frame); isFrame {
+			_ = p.child.RecAEmitDiscovery(po.OutPort, f) //softmow:allow errdiscard discovery is periodic and self-healing, a lost frame is retried next round
+		}
+
+	case southbound.TypeNbUEState:
+		st, ok := m.Body.(southbound.NbUEState)
+		if !ok {
+			p.send(southbound.Msg{Type: southbound.TypeNbAck, Xid: m.Xid,
+				Body: southbound.NbAck{Err: "malformed ue-state body"}})
+			return
+		}
+		p.child.AdoptUERecords(p.adoptRows(st.Rows))
+		p.send(southbound.Msg{Type: southbound.TypeNbAck, Xid: m.Xid, Body: southbound.NbAck{}})
+
+	case southbound.TypeEchoReply, southbound.TypeNbPathReply, southbound.TypeNbAck:
+		p.mu.Lock()
+		ch, ok := p.pending[m.Xid]
+		if ok {
+			delete(p.pending, m.Xid)
+		}
+		p.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+// modTask is one modification message in flight between its dispatch and
+// the barrier that fences it; err is written before done closes.
+type modTask struct {
+	xid  uint32
+	done chan struct{}
+	err  error
+}
+
+// startMods dispatches one modification message's mods onto their own
+// goroutine and records the task for the next fence. Within the message,
+// mods translate strictly in order and the first failure aborts the rest
+// — the SwitchAgent batch contract; across messages, ordering is the
+// parent's job (it fences before issuing a dependent operation, e.g. a
+// teardown only ever follows its setup's completed barrier).
+func (p *ParentConn) startMods(xid uint32, mods []southbound.FlowMod) {
+	t := &modTask{xid: xid, done: make(chan struct{})}
+	p.modsInFlight = append(p.modsInFlight, t)
+	go func() {
+		defer close(t.done)
+		for _, fm := range mods {
+			if err := p.applyMod(fm); err != nil {
+				t.err = err
+				return
+			}
+		}
+	}()
+}
+
+// completeFence waits for every snapshotted modification, reports each
+// failure under its own message xid (the parent stashes mod errors per
+// xid and consumes them at fence completion, so errors must precede the
+// barrier reply on the conn), then acknowledges the fence.
+func (p *ParentConn) completeFence(xid uint32, tasks []*modTask) {
+	for _, t := range tasks {
+		<-t.done
+		if t.err != nil {
+			p.sendErr(t.xid, southbound.ErrCodeBadRequest, t.err.Error())
+		}
+	}
+	p.send(southbound.Msg{Type: southbound.TypeBarrierReply, Xid: xid, Body: southbound.Barrier{}})
+}
+
+// applyMod executes one virtual-rule modification against the child's
+// RecA — the wire face of the parent's logicalDevice calls (§4.3).
+func (p *ParentConn) applyMod(fm southbound.FlowMod) error {
+	switch fm.Command {
+	case southbound.FlowAdd:
+		return p.child.TranslateRule(fm.Rule)
+	case southbound.FlowDeleteOwner:
+		return p.child.RemoveTranslated(fm.Owner)
+	case southbound.FlowDeleteOwnerBefore:
+		return p.child.RemoveTranslatedBefore(fm.Owner, fm.Version)
+	case southbound.FlowDeleteOwnerVersion:
+		return p.child.RemoveTranslatedVersion(fm.Owner, fm.Version)
+	default:
+		// FlowDeleteVersion is ownerless: a G-switch cannot scope it to a
+		// tenant's translated rules, and no parent-side caller emits it.
+		return fmt.Errorf("northbound: unsupported flow-mod command %d on a G-switch", fm.Command)
+	}
+}
+
+// adoptRows rebinds transferred UE rows to live path owners: rows this
+// child owns bind to it directly; rows owned by an ancestor bind to a
+// proxy that forwards teardowns back up the wire.
+func (p *ParentConn) adoptRows(rows []southbound.NbUERow) []core.UERecord {
+	out := make([]core.UERecord, len(rows))
+	for i, r := range rows {
+		var owner core.PathOwner = remoteOwner{id: r.Owner, child: p.child}
+		if r.Owner == p.child.ID {
+			owner = p.child
+		}
+		out[i] = core.UERecord{
+			UE:     r.UE,
+			BS:     r.BS,
+			Group:  r.Group,
+			Prefix: interdomain.PrefixID(r.Prefix),
+			QoS:    r.QoS,
+			PathID: core.PathID(r.Path), HandledBy: owner, Active: r.Active,
+		}
+	}
+	return out
+}
+
+// request performs one synchronous northbound round trip.
+func (p *ParentConn) request(m southbound.Msg) (southbound.Msg, error) {
+	x := p.xid.Add(1)
+	m.Xid = x
+	m.Datapath = p.gswitch
+	ch := make(chan southbound.Msg, 1)
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return southbound.Msg{}, southbound.ErrClosed
+	}
+	p.pending[x] = ch
+	p.mu.Unlock()
+	if err := p.conn.Send(m); err != nil {
+		p.mu.Lock()
+		delete(p.pending, x)
+		p.mu.Unlock()
+		return southbound.Msg{}, err
+	}
+	t := time.NewTimer(p.RequestTimeout)
+	defer t.Stop()
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			return southbound.Msg{}, southbound.ErrClosed
+		}
+		if e, isErr := reply.Body.(southbound.Error); isErr {
+			return southbound.Msg{}, fmt.Errorf("northbound: %s: %s", p.parentID, e.Message)
+		}
+		return reply, nil
+	case <-t.C:
+		p.mu.Lock()
+		delete(p.pending, x)
+		p.mu.Unlock()
+		return southbound.Msg{}, fmt.Errorf("northbound: %s request to %s timed out after %v", m.Type, p.parentID, p.RequestTimeout)
+	}
+}
+
+// failAll marks the conn closed and wakes every waiter with ErrClosed.
+func (p *ParentConn) failAll() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	pend := p.pending
+	p.pending = make(map[uint32]chan southbound.Msg)
+	p.mu.Unlock()
+	for _, ch := range pend { //softmow:allow determinism every waiter gets the same closed-channel signal, completion order is unobservable
+		close(ch)
+	}
+}
+
+// Close tears down the connection and fails every outstanding request.
+func (p *ParentConn) Close() error {
+	p.failAll()
+	return p.conn.Close()
+}
+
+// Drain waits until the child has no northbound request in flight, or the
+// timeout elapses. A region process calls it on SIGTERM so a cluster
+// teardown never abandons a delegation or teardown mid-flight.
+func (p *ParentConn) Drain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout) //softmow:allow determinism shutdown pacing only, never feeds replayable state
+	for {
+		p.mu.Lock()
+		n := len(p.pending)
+		closed := p.closed
+		p.mu.Unlock()
+		if n == 0 || closed {
+			return nil
+		}
+		if !time.Now().Before(deadline) { //softmow:allow determinism shutdown pacing only, never feeds replayable state
+			return fmt.Errorf("northbound: %d requests to %s still in flight after %v", n, p.parentID, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// ControllerID implements core.ParentLink.
+func (p *ParentConn) ControllerID() string { return p.parentID }
+
+// DelegateBearer implements core.ParentLink: the §4.2 delegation request,
+// carrying the leftover constraint budget, rides one NbBearer frame and
+// blocks until the parent's NbPathReply.
+func (p *ParentConn) DelegateBearer(req core.RouteRequest, match dataplane.Match, demand float64) (core.PathID, core.PathOwner, error) {
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbBearer, Body: southbound.NbBearer{
+		From:         req.From.Port,
+		Prefix:       string(req.Prefix),
+		Objective:    int(req.Objective),
+		MaxHops:      req.Constraints.MaxHops,
+		MaxLatency:   req.Constraints.MaxLatency,
+		MinBandwidth: req.Constraints.MinBandwidth,
+		MaxTotalHops: req.MaxTotalHops,
+		MaxTotalRTT:  req.MaxTotalRTT,
+		Match:        match,
+		Demand:       demand,
+	}})
+	return p.pathReply(reply, err)
+}
+
+// InterRegionHandover implements core.ParentLink: the §5.2 ascent toward
+// the lowest common ancestor of the source and destination G-BSes.
+func (p *ParentConn) InterRegionHandover(req core.HandoverRequest) (core.PathID, core.PathOwner, error) {
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbHandover, Body: southbound.NbHandover{
+		UE:     req.UE,
+		SrcGBS: req.SrcGBS, SrcBS: req.SrcBS,
+		DstGBS: req.DstGBS, DstBS: req.DstBS,
+		Prefix: string(req.Prefix), QoS: req.QoS, Objective: int(req.Objective),
+	}})
+	return p.pathReply(reply, err)
+}
+
+// TeardownOwned implements core.ParentLink: a teardown for a path owned at
+// or above the parent is forwarded up the tree until it reaches its owner.
+func (p *ParentConn) TeardownOwned(owner string, id core.PathID) error {
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbTeardown,
+		Body: southbound.NbTeardown{Owner: owner, Path: int64(id)}})
+	return ackErr(reply, err)
+}
+
+// PushInterdomain implements core.ParentLink. The child's translated
+// options ride one message in the child's deterministic (sorted-prefix)
+// order, which the parent preserves on append — Route() tie-breaks on
+// insertion order, so preserving it keeps distributed route selection
+// byte-identical to the in-process tree.
+func (p *ParentConn) PushInterdomain(routes []core.TranslatedRoute) error {
+	opts := make([]southbound.NbRouteOption, len(routes))
+	for i, tr := range routes {
+		opts[i] = southbound.NbRouteOption{
+			Prefix: string(tr.Prefix),
+			Egress: tr.Option.Egress,
+			Port:   tr.Option.Ref.Port,
+			Hops:   tr.Option.External.Hops,
+			RTT:    tr.Option.External.RTT,
+		}
+	}
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbInterdomain,
+		Body: southbound.NbInterdomain{Options: opts}})
+	return ackErr(reply, err)
+}
+
+// DiscoveryArrival implements core.ParentLink: the translated frame rides
+// a Packet-In event (xid 0), exactly how a physical switch reports a
+// frame's return — the parent's ConnDevice dispatches it to
+// HandleDiscoveryArrival like any other punted control packet.
+func (p *ParentConn) DiscoveryArrival(gport dataplane.PortID, f *discovery.Frame) {
+	p.send(southbound.Msg{Type: southbound.TypePacketIn,
+		Body: southbound.PacketIn{InPort: gport, Control: f}})
+}
+
+// ChildRefreshed implements core.ParentLink (§5.3.2 bottom-up refresh):
+// the parent re-reads this child's features and reabstracts.
+func (p *ParentConn) ChildRefreshed() error {
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbReabstract, Body: southbound.NbReabstract{}})
+	return ackErr(reply, err)
+}
+
+// FabricUpdated implements core.ParentLink (§3.2 threshold update): the
+// recomputed virtual fabric replaces the parent's copy in place.
+func (p *ParentConn) FabricUpdated(fab *dataplane.VFabric) error {
+	reply, err := p.request(southbound.Msg{Type: southbound.TypeNbFabric, Body: southbound.NbFabric{Fabric: fab}})
+	return ackErr(reply, err)
+}
+
+// pathReply decodes a delegation/handover response into the ParentLink
+// return shape.
+func (p *ParentConn) pathReply(m southbound.Msg, err error) (core.PathID, core.PathOwner, error) {
+	if err != nil {
+		return 0, nil, err
+	}
+	r, ok := m.Body.(southbound.NbPathReply)
+	if !ok {
+		return 0, nil, fmt.Errorf("northbound: malformed path reply body %T", m.Body)
+	}
+	if r.Err != "" {
+		return 0, nil, remoteErr(r.Err)
+	}
+	var owner core.PathOwner = remoteOwner{id: r.Owner, child: p.child}
+	return core.PathID(r.Path), owner, nil
+}
+
+// ackErr decodes an NbAck response.
+func ackErr(m southbound.Msg, err error) error {
+	if err != nil {
+		return err
+	}
+	a, ok := m.Body.(southbound.NbAck)
+	if !ok {
+		return fmt.Errorf("northbound: malformed ack body %T", m.Body)
+	}
+	if a.Err != "" {
+		return remoteErr(a.Err)
+	}
+	return nil
+}
+
+// remoteErr rehydrates an error string carried over the wire. ErrNoRoute
+// is restored as a wrapped sentinel so errors.Is keeps working across the
+// process boundary — admission control branches on it.
+func remoteErr(s string) error {
+	if strings.Contains(s, core.ErrNoRoute.Error()) {
+		return fmt.Errorf("%w (remote: %s)", core.ErrNoRoute, s)
+	}
+	return errors.New(s)
+}
+
+// remoteOwner is a PathOwner proxy for a path owned by an ancestor
+// reachable only over the wire: teardowns forward up through the child's
+// own ParentLink until they reach the owner; path-table introspection
+// reports not-found, as remote tables are not readable.
+type remoteOwner struct {
+	id    string
+	child *core.Controller
+}
+
+// OwnerID implements core.PathOwner.
+func (o remoteOwner) OwnerID() string { return o.id }
+
+// TeardownPath implements core.PathOwner by forwarding toward the owner.
+func (o remoteOwner) TeardownPath(id core.PathID) error {
+	return o.child.TeardownOwnedPath(o.id, id)
+}
+
+// Path implements core.PathOwner; remote path tables are not
+// introspectable, so every lookup reports not-found.
+func (o remoteOwner) Path(core.PathID) (core.PathRecord, bool) {
+	return core.PathRecord{}, false
+}

@@ -69,10 +69,18 @@ func (c *BinConn) SetWriteTimeout(d time.Duration) {
 	c.writeTimeout.Store(int64(d))
 }
 
+// fragChunkSize is the largest Frag.Data slice Send will emit per
+// continuation frame. The margin below MaxFrameSize covers the frame
+// header plus the fragment body's own fields, keeping every wire frame of
+// a fragmented run within the hard per-frame limit.
+const fragChunkSize = MaxFrameSize - 64
+
 // Send implements Conn. With a write timeout set, the socket write is
 // armed with a deadline; a peer that stops reading fails the Send within
 // the timeout instead of blocking it (and every queued sender behind wM)
 // forever. Close from another goroutine also unblocks an in-flight write.
+// A logical frame whose payload exceeds MaxFrameSize is transparently
+// split into a contiguous run of TypeFrag frames.
 func (c *BinConn) Send(m Msg) error {
 	bufp := framePool.Get().(*[]byte)
 	buf, err := AppendFrame((*bufp)[:0], &m)
@@ -81,6 +89,12 @@ func (c *BinConn) Send(m Msg) error {
 		return err
 	}
 	*bufp = buf[:0]
+
+	if len(buf)-4 > MaxFrameSize {
+		err := c.sendFragmented(buf[4:])
+		framePool.Put(bufp)
+		return err
+	}
 
 	c.wM.Lock()
 	if wt := time.Duration(c.writeTimeout.Load()); wt > 0 {
@@ -100,6 +114,43 @@ func (c *BinConn) Send(m Msg) error {
 	return nil
 }
 
+// sendFragmented writes one oversized logical payload as a run of
+// TypeFrag wire frames. The writer lock is held across the whole run so
+// frames from concurrent senders can never interleave into it; the
+// receiver reassembles the run back into the original payload.
+func (c *BinConn) sendFragmented(payload []byte) error {
+	fbufp := framePool.Get().(*[]byte)
+	defer framePool.Put(fbufp)
+	c.wM.Lock()
+	defer c.wM.Unlock()
+	for off := 0; off < len(payload); {
+		n := len(payload) - off
+		if n > fragChunkSize {
+			n = fragChunkSize
+		}
+		chunk := payload[off : off+n]
+		off += n
+		fbuf, err := AppendFrame((*fbufp)[:0], &Msg{
+			Type: TypeFrag,
+			Body: Frag{Last: off == len(payload), Data: chunk},
+		})
+		if err != nil {
+			return err
+		}
+		*fbufp = fbuf[:0]
+		if wt := time.Duration(c.writeTimeout.Load()); wt > 0 {
+			deadline := time.Now().Add(wt) //softmow:allow determinism write-deadline arming only, never feeds replayable state
+			if err := c.nc.SetWriteDeadline(deadline); err != nil {
+				return c.sendErr(err)
+			}
+		}
+		if _, err := c.nc.Write(fbuf); err != nil {
+			return c.sendErr(err)
+		}
+	}
+	return nil
+}
+
 func (c *BinConn) sendErr(err error) error {
 	if c.closed.Load() || errors.Is(err, net.ErrClosed) {
 		return ErrClosed
@@ -110,31 +161,64 @@ func (c *BinConn) sendErr(err error) error {
 	return fmt.Errorf("southbound: write: %w", err)
 }
 
-// Recv implements Conn.
+// Recv implements Conn. A run of TypeFrag frames is reassembled into the
+// original logical frame before decoding; anything else decodes directly.
 func (c *BinConn) Recv() (Msg, error) {
 	c.rM.Lock()
 	defer c.rM.Unlock()
+	var assembled []byte
+	for {
+		payload, err := c.readFrameLocked()
+		if err != nil {
+			return Msg{}, err
+		}
+		m, err := DecodeFrame(payload)
+		if err != nil {
+			return Msg{}, err
+		}
+		if m.Type != TypeFrag {
+			if assembled != nil {
+				// The sender holds its writer lock across a fragment run,
+				// so an interleaved frame means a broken peer.
+				return Msg{}, wireErrorf("%s frame inside fragment run", m.Type)
+			}
+			return m, nil
+		}
+		f, ok := m.Body.(Frag)
+		if !ok {
+			return Msg{}, wireErrorf("frag body is %T", m.Body)
+		}
+		if len(assembled)+len(f.Data) > MaxAssembledSize {
+			return Msg{}, wireErrorf("reassembled frame exceeds limit %d", MaxAssembledSize)
+		}
+		assembled = append(assembled, f.Data...)
+		if f.Last {
+			return DecodeFrame(assembled)
+		}
+	}
+}
+
+// readFrameLocked reads one length-prefixed wire frame into the receive scratch
+// buffer and returns its payload. The returned slice is only valid until
+// the next readFrameLocked call.
+func (c *BinConn) readFrameLocked() ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.nc, hdr[:]); err != nil {
-		return Msg{}, c.recvErr(err)
+		return nil, c.recvErr(err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameSize {
 		// The stream is unrecoverable past a bogus length; fail hard.
-		return Msg{}, wireErrorf("frame payload %d exceeds limit %d", n, MaxFrameSize)
+		return nil, wireErrorf("frame payload %d exceeds limit %d", n, MaxFrameSize)
 	}
 	if cap(c.rbuf) < int(n) {
 		c.rbuf = make([]byte, n)
 	}
 	payload := c.rbuf[:n]
 	if _, err := io.ReadFull(c.nc, payload); err != nil {
-		return Msg{}, c.recvErr(err)
+		return nil, c.recvErr(err)
 	}
-	m, err := DecodeFrame(payload)
-	if err != nil {
-		return Msg{}, err
-	}
-	return m, nil
+	return payload, nil
 }
 
 func (c *BinConn) recvErr(err error) error {

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dataplane"
 )
@@ -33,10 +34,20 @@ import (
 // carrying any other value, giving the format room to evolve.
 const WireVersion = 1
 
-// MaxFrameSize bounds one frame's payload. Oversized length prefixes are
-// rejected before any allocation, so a corrupt or hostile peer cannot make
-// Recv allocate unbounded memory.
+// MaxFrameSize bounds one frame's payload ON THE WIRE. Oversized length
+// prefixes are rejected before any allocation, so a corrupt or hostile
+// peer cannot make Recv allocate unbounded memory. Logical messages whose
+// encoding exceeds this limit are carried as a run of TypeFrag
+// continuation frames (each itself within the limit) and reassembled by
+// the receiving BinConn, up to MaxAssembledSize.
 const MaxFrameSize = 1 << 20
+
+// MaxAssembledSize bounds a reassembled logical frame: the largest
+// payload AppendFrame will produce and DecodeFrame will accept. A large
+// region's northbound abstraction or prefix snapshot can exceed one wire
+// frame, but 16 MiB of control state on one message indicates a bug or a
+// hostile peer.
+const MaxAssembledSize = 16 << 20
 
 // String length limits within a frame: generic strings (owners, names,
 // prefixes) carry a 2-byte length; echo payloads a 4-byte one.
@@ -67,8 +78,8 @@ func AppendFrame(dst []byte, m *Msg) ([]byte, error) {
 		return nil, err
 	}
 	payload := len(dst) - lenAt - 4
-	if payload > MaxFrameSize {
-		return nil, wireErrorf("frame payload %d exceeds limit %d", payload, MaxFrameSize)
+	if payload > MaxAssembledSize {
+		return nil, wireErrorf("frame payload %d exceeds limit %d", payload, MaxAssembledSize)
 	}
 	binary.BigEndian.PutUint32(dst[lenAt:], uint32(payload))
 	return dst, nil
@@ -162,7 +173,136 @@ func appendBody(dst []byte, m *Msg) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Code)))
 		return appendString(dst, b.Message)
 
-	case TypeFeatureReply, TypePacketIn, TypePacketOut:
+	case TypeFrag:
+		b, ok := m.Body.(Frag)
+		if !ok {
+			return nil, wireErrorf("frag body is %T", m.Body)
+		}
+		dst = appendBool(dst, b.Last)
+		if len(b.Data) > MaxFrameSize {
+			return nil, wireErrorf("fragment of %d bytes exceeds limit", len(b.Data))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Data)))
+		return append(dst, b.Data...), nil
+
+	case TypeNbBearer:
+		b, ok := m.Body.(NbBearer)
+		if !ok {
+			return nil, wireErrorf("nb-bearer body is %T", m.Body)
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.From)))
+		var err error
+		if dst, err = appendString(dst, b.Prefix); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.Objective)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.MaxHops)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(b.MaxLatency))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.MinBandwidth))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.MaxTotalHops)))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(b.MaxTotalRTT))
+		if dst, err = appendMatch(dst, &b.Match); err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Demand)), nil
+
+	case TypeNbPathReply:
+		b, ok := m.Body.(NbPathReply)
+		if !ok {
+			return nil, wireErrorf("nb-path-reply body is %T", m.Body)
+		}
+		dst = binary.BigEndian.AppendUint64(dst, uint64(b.Path))
+		var err error
+		if dst, err = appendString(dst, b.Owner); err != nil {
+			return nil, err
+		}
+		return appendString(dst, b.Err)
+
+	case TypeNbHandover:
+		b, ok := m.Body.(NbHandover)
+		if !ok {
+			return nil, wireErrorf("nb-handover body is %T", m.Body)
+		}
+		var err error
+		for _, s := range []string{b.UE, string(b.SrcGBS), string(b.SrcBS),
+			string(b.DstGBS), string(b.DstBS), b.Prefix} {
+			if dst, err = appendString(dst, s); err != nil {
+				return nil, err
+			}
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(int32(b.QoS)))
+		return binary.BigEndian.AppendUint32(dst, uint32(int32(b.Objective))), nil
+
+	case TypeNbTeardown:
+		b, ok := m.Body.(NbTeardown)
+		if !ok {
+			return nil, wireErrorf("nb-teardown body is %T", m.Body)
+		}
+		var err error
+		if dst, err = appendString(dst, b.Owner); err != nil {
+			return nil, err
+		}
+		return binary.BigEndian.AppendUint64(dst, uint64(b.Path)), nil
+
+	case TypeNbAck:
+		b, ok := m.Body.(NbAck)
+		if !ok {
+			return nil, wireErrorf("nb-ack body is %T", m.Body)
+		}
+		return appendString(dst, b.Err)
+
+	case TypeNbInterdomain:
+		b, ok := m.Body.(NbInterdomain)
+		if !ok {
+			return nil, wireErrorf("nb-interdomain body is %T", m.Body)
+		}
+		if len(b.Options) > maxWireString {
+			return nil, wireErrorf("%d route options exceed limit", len(b.Options))
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Options)))
+		var err error
+		for _, o := range b.Options {
+			if dst, err = appendString(dst, o.Prefix); err != nil {
+				return nil, err
+			}
+			if dst, err = appendString(dst, o.Egress); err != nil {
+				return nil, err
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(o.Port)))
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(o.Hops)))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(o.RTT))
+		}
+		return dst, nil
+
+	case TypeNbReabstract:
+		return dst, nil
+
+	case TypeNbUEState:
+		b, ok := m.Body.(NbUEState)
+		if !ok {
+			return nil, wireErrorf("nb-ue-state body is %T", m.Body)
+		}
+		if len(b.Rows) > math.MaxInt32 {
+			return nil, wireErrorf("%d ue rows exceed limit", len(b.Rows))
+		}
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(b.Rows)))
+		var err error
+		for _, r := range b.Rows {
+			for _, s := range []string{r.UE, string(r.BS), string(r.Group), r.Prefix} {
+				if dst, err = appendString(dst, s); err != nil {
+					return nil, err
+				}
+			}
+			dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.QoS)))
+			dst = binary.BigEndian.AppendUint64(dst, uint64(r.Path))
+			if dst, err = appendString(dst, r.Owner); err != nil {
+				return nil, err
+			}
+			dst = appendBool(dst, r.Active)
+		}
+		return dst, nil
+
+	case TypeFeatureReply, TypePacketIn, TypePacketOut, TypeNbFabric:
 		return appendGobBody(dst, m)
 
 	default:
@@ -182,19 +322,29 @@ func appendFlowMod(dst []byte, fm *FlowMod) ([]byte, error) {
 	return binary.BigEndian.AppendUint32(dst, uint32(int32(fm.Version))), nil
 }
 
-func appendRule(dst []byte, r *dataplane.Rule) ([]byte, error) {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Priority)))
-	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Match.InPort)))
-	dst = appendBool(dst, r.Match.HasLabel)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(r.Match.Label))
-	dst = appendBool(dst, r.Match.MatchNoLabel)
+// appendMatch encodes a flow match: in-port, label predicate, UE/IP/prefix
+// selectors, QoS. Shared by the rule encoding and the northbound bearer
+// delegation body.
+func appendMatch(dst []byte, m *dataplane.Match) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(m.InPort)))
+	dst = appendBool(dst, m.HasLabel)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(m.Label))
+	dst = appendBool(dst, m.MatchNoLabel)
 	var err error
-	for _, s := range []string{r.Match.UE, r.Match.SrcIP, r.Match.DstPrefix} {
+	for _, s := range []string{m.UE, m.SrcIP, m.DstPrefix} {
 		if dst, err = appendString(dst, s); err != nil {
 			return nil, err
 		}
 	}
-	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Match.QoS)))
+	return binary.BigEndian.AppendUint32(dst, uint32(int32(m.QoS))), nil
+}
+
+func appendRule(dst []byte, r *dataplane.Rule) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(int32(r.Priority)))
+	var err error
+	if dst, err = appendMatch(dst, &r.Match); err != nil {
+		return nil, err
+	}
 	if len(r.Actions) > maxWireString {
 		return nil, wireErrorf("%d actions exceed limit", len(r.Actions))
 	}
@@ -242,7 +392,7 @@ func appendString(dst []byte, s string) ([]byte, error) {
 }
 
 func appendLongString(dst []byte, s string) ([]byte, error) {
-	if len(s) > MaxFrameSize {
+	if len(s) > MaxAssembledSize {
 		return nil, wireErrorf("payload of %d bytes exceeds limit", len(s))
 	}
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(s)))
@@ -322,7 +472,7 @@ func (fr *frameReader) str() (string, bool) {
 
 func (fr *frameReader) longStr() (string, bool) {
 	n, ok := fr.u32()
-	if !ok || n > MaxFrameSize {
+	if !ok || n > MaxAssembledSize {
 		return "", false
 	}
 	b, ok := fr.take(int(n))
@@ -338,8 +488,8 @@ var errTruncated = &wireError{msg: "truncated frame"}
 // prefix) into a Msg. It never panics on malformed input: truncated,
 // oversized, or trailing-garbage frames return an error.
 func DecodeFrame(payload []byte) (Msg, error) {
-	if len(payload) > MaxFrameSize {
-		return Msg{}, wireErrorf("frame payload %d exceeds limit %d", len(payload), MaxFrameSize)
+	if len(payload) > MaxAssembledSize {
+		return Msg{}, wireErrorf("frame payload %d exceeds limit %d", len(payload), MaxAssembledSize)
 	}
 	fr := &frameReader{b: payload}
 	ver, ok := fr.u8()
@@ -469,7 +619,214 @@ func decodeBody(fr *frameReader, m *Msg) error {
 		m.Body = b
 		return nil
 
-	case TypeFeatureReply, TypePacketIn, TypePacketOut:
+	case TypeFrag:
+		var b Frag
+		var ok bool
+		if b.Last, ok = fr.boolean(); !ok {
+			return errTruncated
+		}
+		n, ok := fr.u32()
+		if !ok || n > MaxFrameSize {
+			return errTruncated
+		}
+		data, ok := fr.take(int(n))
+		if !ok {
+			return errTruncated
+		}
+		// The payload slice aliases the receive scratch buffer; fragments
+		// outlive the frame they arrived in, so copy.
+		b.Data = append([]byte(nil), data...)
+		m.Body = b
+		return nil
+
+	case TypeNbBearer:
+		var b NbBearer
+		from, ok := fr.i32()
+		if !ok {
+			return errTruncated
+		}
+		b.From = dataplane.PortID(from)
+		if b.Prefix, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		if b.Objective, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		if b.MaxHops, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		lat, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.MaxLatency = time.Duration(lat)
+		bw, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.MinBandwidth = math.Float64frombits(bw)
+		if b.MaxTotalHops, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		rtt, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.MaxTotalRTT = time.Duration(rtt)
+		if err := decodeMatch(fr, &b.Match); err != nil {
+			return err
+		}
+		demand, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.Demand = math.Float64frombits(demand)
+		m.Body = b
+		return nil
+
+	case TypeNbPathReply:
+		var b NbPathReply
+		path, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.Path = int64(path)
+		if b.Owner, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		if b.Err, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeNbHandover:
+		var b NbHandover
+		var ok bool
+		var s [6]string
+		for i := range s {
+			if s[i], ok = fr.str(); !ok {
+				return errTruncated
+			}
+		}
+		b.UE = s[0]
+		b.SrcGBS = dataplane.DeviceID(s[1])
+		b.SrcBS = dataplane.DeviceID(s[2])
+		b.DstGBS = dataplane.DeviceID(s[3])
+		b.DstBS = dataplane.DeviceID(s[4])
+		b.Prefix = s[5]
+		if b.QoS, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		if b.Objective, ok = fr.i32(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeNbTeardown:
+		var b NbTeardown
+		var ok bool
+		if b.Owner, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		path, ok := fr.u64()
+		if !ok {
+			return errTruncated
+		}
+		b.Path = int64(path)
+		m.Body = b
+		return nil
+
+	case TypeNbAck:
+		var b NbAck
+		var ok bool
+		if b.Err, ok = fr.str(); !ok {
+			return errTruncated
+		}
+		m.Body = b
+		return nil
+
+	case TypeNbInterdomain:
+		n, ok := fr.u16()
+		if !ok {
+			return errTruncated
+		}
+		b := NbInterdomain{}
+		if n > 0 {
+			b.Options = make([]NbRouteOption, 0, min(int(n), 1024))
+			for i := 0; i < int(n); i++ {
+				var o NbRouteOption
+				if o.Prefix, ok = fr.str(); !ok {
+					return errTruncated
+				}
+				if o.Egress, ok = fr.str(); !ok {
+					return errTruncated
+				}
+				port, ok := fr.i32()
+				if !ok {
+					return errTruncated
+				}
+				o.Port = dataplane.PortID(port)
+				if o.Hops, ok = fr.i32(); !ok {
+					return errTruncated
+				}
+				rtt, ok := fr.u64()
+				if !ok {
+					return errTruncated
+				}
+				o.RTT = time.Duration(rtt)
+				b.Options = append(b.Options, o)
+			}
+		}
+		m.Body = b
+		return nil
+
+	case TypeNbReabstract:
+		m.Body = NbReabstract{}
+		return nil
+
+	case TypeNbUEState:
+		n, ok := fr.u32()
+		if !ok {
+			return errTruncated
+		}
+		b := NbUEState{}
+		if n > 0 {
+			b.Rows = make([]NbUERow, 0, min(int(n), 4096))
+			for i := 0; i < int(n); i++ {
+				var r NbUERow
+				var s [4]string
+				for j := range s {
+					if s[j], ok = fr.str(); !ok {
+						return errTruncated
+					}
+				}
+				r.UE = s[0]
+				r.BS = dataplane.DeviceID(s[1])
+				r.Group = dataplane.DeviceID(s[2])
+				r.Prefix = s[3]
+				if r.QoS, ok = fr.i32(); !ok {
+					return errTruncated
+				}
+				path, ok := fr.u64()
+				if !ok {
+					return errTruncated
+				}
+				r.Path = int64(path)
+				if r.Owner, ok = fr.str(); !ok {
+					return errTruncated
+				}
+				if r.Active, ok = fr.boolean(); !ok {
+					return errTruncated
+				}
+				b.Rows = append(b.Rows, r)
+			}
+		}
+		m.Body = b
+		return nil
+
+	case TypeFeatureReply, TypePacketIn, TypePacketOut, TypeNbFabric:
 		return decodeGobBody(fr, m)
 
 	default:
@@ -508,38 +865,46 @@ func decodeFlowMod(fr *frameReader) (FlowMod, error) {
 	return fm, nil
 }
 
-func decodeRule(fr *frameReader, r *dataplane.Rule) error {
-	var ok bool
-	if r.Priority, ok = fr.i32(); !ok {
-		return errTruncated
-	}
+// decodeMatch is the inverse of appendMatch.
+func decodeMatch(fr *frameReader, m *dataplane.Match) error {
 	inPort, ok := fr.i32()
 	if !ok {
 		return errTruncated
 	}
-	r.Match.InPort = dataplane.PortID(inPort)
-	if r.Match.HasLabel, ok = fr.boolean(); !ok {
+	m.InPort = dataplane.PortID(inPort)
+	if m.HasLabel, ok = fr.boolean(); !ok {
 		return errTruncated
 	}
 	label, ok := fr.u32()
 	if !ok {
 		return errTruncated
 	}
-	r.Match.Label = dataplane.Label(label)
-	if r.Match.MatchNoLabel, ok = fr.boolean(); !ok {
+	m.Label = dataplane.Label(label)
+	if m.MatchNoLabel, ok = fr.boolean(); !ok {
 		return errTruncated
 	}
-	if r.Match.UE, ok = fr.str(); !ok {
+	if m.UE, ok = fr.str(); !ok {
 		return errTruncated
 	}
-	if r.Match.SrcIP, ok = fr.str(); !ok {
+	if m.SrcIP, ok = fr.str(); !ok {
 		return errTruncated
 	}
-	if r.Match.DstPrefix, ok = fr.str(); !ok {
+	if m.DstPrefix, ok = fr.str(); !ok {
 		return errTruncated
 	}
-	if r.Match.QoS, ok = fr.i32(); !ok {
+	if m.QoS, ok = fr.i32(); !ok {
 		return errTruncated
+	}
+	return nil
+}
+
+func decodeRule(fr *frameReader, r *dataplane.Rule) error {
+	var ok bool
+	if r.Priority, ok = fr.i32(); !ok {
+		return errTruncated
+	}
+	if err := decodeMatch(fr, &r.Match); err != nil {
+		return err
 	}
 	nActs, ok := fr.u16()
 	if !ok {
@@ -582,7 +947,7 @@ func decodeRule(fr *frameReader, r *dataplane.Rule) error {
 
 func decodeGobBody(fr *frameReader, m *Msg) error {
 	n, ok := fr.u32()
-	if !ok || n > MaxFrameSize {
+	if !ok || n > MaxAssembledSize {
 		return errTruncated
 	}
 	blob, ok := fr.take(int(n))

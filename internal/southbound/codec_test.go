@@ -57,6 +57,41 @@ func sampleMsgs() []Msg {
 			{Command: FlowAdd, Rule: rule},
 			{Command: FlowDeleteOwnerBefore, Owner: "L0/p12", Version: 9},
 		}}},
+		{Type: TypeNbBearer, Xid: 11, Datapath: "gsw-L0", Body: NbBearer{
+			From: 3, Prefix: "pfx2", Objective: 1, MaxHops: 8,
+			MaxLatency: 20 * time.Millisecond, MinBandwidth: 50,
+			MaxTotalHops: 12, MaxTotalRTT: 80 * time.Millisecond,
+			Match: rule.Match, Demand: 2.5,
+		}},
+		{Type: TypeNbPathReply, Xid: 11, Datapath: "gsw-L0", Body: NbPathReply{
+			Path: 9001, Owner: "root", Err: "",
+		}},
+		{Type: TypeNbHandover, Xid: 12, Datapath: "gsw-L0", Body: NbHandover{
+			UE: "ue0000001", SrcGBS: "g0", SrcBS: "b0-1",
+			DstGBS: "g1", DstBS: "b1-2", Prefix: "pfx1", QoS: 1, Objective: 0,
+		}},
+		{Type: TypeNbTeardown, Xid: 13, Datapath: "gsw-L0", Body: NbTeardown{Owner: "root", Path: 9001}},
+		{Type: TypeNbAck, Xid: 13, Datapath: "gsw-L0", Body: NbAck{Err: "no such path"}},
+		{Type: TypeNbInterdomain, Xid: 14, Datapath: "gsw-L0", Body: NbInterdomain{Options: []NbRouteOption{
+			{Prefix: "pfx9", Egress: "X0", Port: 4, Hops: 3, RTT: 12 * time.Millisecond},
+			{Prefix: "pfx8", Egress: "X1", Port: 2, Hops: 5, RTT: 30 * time.Millisecond},
+		}}},
+		{Type: TypeNbFabric, Xid: 15, Datapath: "gsw-L0", Body: NbFabric{Fabric: fab}},
+		{Type: TypeNbReabstract, Xid: 16, Datapath: "gsw-L0", Body: NbReabstract{}},
+		{Type: TypeNbUEState, Xid: 17, Datapath: "gsw-L0", Body: NbUEState{Rows: []NbUERow{
+			{UE: "ue0000001", BS: "b0-1", Group: "g0", Prefix: "pfx1", QoS: 1, Path: 9001, Owner: "root", Active: true},
+			{UE: "ue0000002", BS: "b0-2", Group: "g0", Prefix: "pfx2", QoS: 2, Path: 0, Owner: "", Active: false},
+		}}},
+	}
+}
+
+// frameOnlyMsgs are messages exercised at the frame codec layer but never
+// sent through a BinConn as-is: a conn-level Send of TypeFrag would start
+// a fragment run on the receiver.
+func frameOnlyMsgs() []Msg {
+	return []Msg{
+		{Type: TypeFrag, Body: Frag{Last: false, Data: []byte{1, 2, 3, 4}}},
+		{Type: TypeFrag, Body: Frag{Last: true}},
 	}
 }
 
@@ -71,7 +106,7 @@ func encodePayload(t testing.TB, m Msg) []byte {
 }
 
 func TestFrameRoundTripAllTypes(t *testing.T) {
-	for _, m := range sampleMsgs() {
+	for _, m := range append(sampleMsgs(), frameOnlyMsgs()...) {
 		payload := encodePayload(t, m)
 		got, err := DecodeFrame(payload)
 		if err != nil {
@@ -118,12 +153,12 @@ func TestFrameRejectsMalformed(t *testing.T) {
 		}
 	})
 	t.Run("oversized payload", func(t *testing.T) {
-		if _, err := DecodeFrame(make([]byte, MaxFrameSize+1)); err == nil {
+		if _, err := DecodeFrame(make([]byte, MaxAssembledSize+1)); err == nil {
 			t.Fatal("oversized payload decoded without error")
 		}
 	})
 	t.Run("oversized encode", func(t *testing.T) {
-		big := Msg{Type: TypeEchoRequest, Body: Echo{Payload: strings.Repeat("x", MaxFrameSize)}}
+		big := Msg{Type: TypeEchoRequest, Body: Echo{Payload: strings.Repeat("x", MaxAssembledSize)}}
 		if _, err := AppendFrame(nil, &big); err == nil {
 			t.Fatal("oversized frame encoded without error")
 		}
@@ -166,6 +201,76 @@ func TestBinConnOverTCP(t *testing.T) {
 		if !reflect.DeepEqual(got, m) {
 			t.Errorf("%s over TCP mismatch:\n got %#v\nwant %#v", m.Type, got, m)
 		}
+	}
+}
+
+// TestBinConnFragmentation pins the oversize round trip: a logical frame
+// whose payload exceeds MaxFrameSize crosses a real socket as a run of
+// TypeFrag frames and reassembles to the original message; ordinary
+// frames interleave cleanly after it.
+func TestBinConnFragmentation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *BinConn, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- NewBinConn(nc)
+	}()
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewBinConn(nc)
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	rows := make([]NbUERow, 0, 60_000)
+	for i := 0; i < 60_000; i++ {
+		rows = append(rows, NbUERow{
+			UE: fmt.Sprintf("ue%07d", i), BS: "b0-1", Group: "g0",
+			Prefix: "pfx1", QoS: 1, Path: int64(i), Owner: "root", Active: i%2 == 0,
+		})
+	}
+	big := Msg{Type: TypeNbUEState, Xid: 42, Datapath: "gsw-L0", Body: NbUEState{Rows: rows}}
+	if enc, err := AppendFrame(nil, &big); err != nil {
+		t.Fatal(err)
+	} else if len(enc)-4 <= MaxFrameSize {
+		t.Fatalf("test payload %d bytes does not exceed MaxFrameSize", len(enc)-4)
+	}
+	small := Msg{Type: TypeBarrierRequest, Xid: 43, Datapath: "A0", Body: Barrier{}}
+
+	sendErr := make(chan error, 1)
+	go func() {
+		if err := client.Send(big); err != nil {
+			sendErr <- err
+			return
+		}
+		sendErr <- client.Send(small)
+	}()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatalf("Recv oversized: %v", err)
+	}
+	if !reflect.DeepEqual(got, big) {
+		t.Errorf("oversized frame mismatch: got %d rows, want %d",
+			len(got.Body.(NbUEState).Rows), len(rows))
+	}
+	got, err = server.Recv()
+	if err != nil {
+		t.Fatalf("Recv after fragment run: %v", err)
+	}
+	if !reflect.DeepEqual(got, small) {
+		t.Errorf("frame after fragment run mismatch: %#v", got)
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatalf("Send: %v", err)
 	}
 }
 
@@ -325,7 +430,7 @@ func tcpPair(t *testing.T) (*BinConn, net.Conn) {
 // (NaNs, aliasing) whose equality Go cannot decide structurally; their
 // canonical round trip is pinned by TestFrameRoundTripAllTypes instead.
 func FuzzFrameDecode(f *testing.F) {
-	for _, m := range sampleMsgs() {
+	for _, m := range append(sampleMsgs(), frameOnlyMsgs()...) {
 		f.Add(encodePayload(f, m))
 	}
 	f.Add([]byte{})
@@ -345,7 +450,7 @@ func FuzzFrameDecode(f *testing.F) {
 			t.Fatalf("re-encoded message failed to decode: %v (%#v)", err, m)
 		}
 		switch m.Type {
-		case TypeFeatureReply, TypePacketIn, TypePacketOut:
+		case TypeFeatureReply, TypePacketIn, TypePacketOut, TypeNbFabric:
 			if m2.Type != m.Type || m2.Xid != m.Xid || m2.Datapath != m.Datapath {
 				t.Fatalf("gob-body envelope mismatch: %#v vs %#v", m2, m)
 			}
@@ -380,9 +485,10 @@ func TestWriteFuzzCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for i, m := range sampleMsgs() {
+	for i, m := range append(sampleMsgs(), frameOnlyMsgs()...) {
 		write(fmt.Sprintf("seed-%02d-%s", i, m.Type), encodePayload(t, m))
 	}
 	write("seed-truncated", encodePayload(t, sampleMsgs()[7])[:9])
 	write("seed-batch-huge-count", []byte{WireVersion, byte(TypeFlowModBatch), 0, 0, 0, 1, 0, 0, 0xFF, 0xFF})
+	write("seed-ue-state-huge-count", []byte{WireVersion, byte(TypeNbUEState), 0, 0, 0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 }

@@ -170,6 +170,7 @@ func RegisterGobTypes(extra ...interface{}) {
 	gob.Register(RoleReply{})
 	gob.Register(Barrier{})
 	gob.Register(Error{})
+	gob.Register(NbFabric{})
 	gob.Register(&dataplane.Packet{})
 	for _, e := range extra {
 		gob.Register(e)

@@ -2,6 +2,7 @@ package southbound
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/dataplane"
 )
@@ -48,7 +49,59 @@ const (
 	// message, cutting per-rule round trips; it is appended to the enum so
 	// single-FlowMod peers stay wire compatible.
 	TypeFlowModBatch
+	// TypeFrag is a transport-level continuation frame: a logical frame
+	// whose payload exceeds MaxFrameSize is split into a run of TypeFrag
+	// frames that the receiving BinConn reassembles before decoding
+	// (northbound abstraction snapshots can exceed one frame).
+	TypeFrag
+	// TypeNbBearer is a child→parent northbound bearer delegation: the
+	// child could not satisfy a route locally and asks the parent to
+	// resolve and implement it (§4.2 delegation over the wire).
+	TypeNbBearer
+	// TypeNbPathReply answers TypeNbBearer / TypeNbHandover with the path
+	// ID and owning controller, or an error.
+	TypeNbPathReply
+	// TypeNbHandover is a child→parent inter-region handover request
+	// ascending toward the lowest common ancestor (§5.2).
+	TypeNbHandover
+	// TypeNbTeardown asks an ancestor to tear down a path it owns (§5.1
+	// "request bearer deactivation from its parent via RecA").
+	TypeNbTeardown
+	// TypeNbAck acknowledges a northbound request that carries no result
+	// payload (teardown, interdomain push, fabric update, reabstract,
+	// UE-state transfer).
+	TypeNbAck
+	// TypeNbInterdomain pushes a child's translated interdomain route
+	// options to the parent (§4.2 "sends it to the parent (with
+	// translation to the G-switch)").
+	TypeNbInterdomain
+	// TypeNbFabric pushes an updated virtual fabric to the parent when the
+	// bandwidth drift exceeds the notification threshold (§3.2).
+	TypeNbFabric
+	// TypeNbReabstract tells the parent the child's abstraction changed:
+	// the parent re-reads features, re-runs discovery, and reabstracts
+	// upward (§5.3.2 bottom-up update).
+	TypeNbReabstract
+	// TypeNbUEState transfers UE table rows to a controller adopting them
+	// (§5.3.2 state transfer during region reconfiguration).
+	TypeNbUEState
 )
+
+// PeerRequest reports whether a message type is a northbound request a
+// child controller originates toward its parent. The parent's ConnDevice
+// pump classifies these BEFORE xid-based reply routing: child requests
+// carry the child's own xid counter, whose values collide with the
+// parent's fence xids, so without the type filter a child request could
+// falsely complete an outstanding fence. TypeNbUEState flows
+// parent→child only and is deliberately excluded.
+func (t MsgType) PeerRequest() bool {
+	switch t {
+	case TypeNbBearer, TypeNbHandover, TypeNbTeardown, TypeNbInterdomain,
+		TypeNbFabric, TypeNbReabstract:
+		return true
+	}
+	return false
+}
 
 // String implements fmt.Stringer.
 func (t MsgType) String() string {
@@ -60,6 +113,11 @@ func (t MsgType) String() string {
 		TypeRoleRequest: "role-req", TypeRoleReply: "role-rep",
 		TypeBarrierRequest: "barrier-req", TypeBarrierReply: "barrier-rep",
 		TypeError: "error", TypeFlowModBatch: "flow-mod-batch",
+		TypeFrag: "frag", TypeNbBearer: "nb-bearer", TypeNbPathReply: "nb-path-rep",
+		TypeNbHandover: "nb-handover", TypeNbTeardown: "nb-teardown",
+		TypeNbAck: "nb-ack", TypeNbInterdomain: "nb-interdomain",
+		TypeNbFabric: "nb-fabric", TypeNbReabstract: "nb-reabstract",
+		TypeNbUEState: "nb-ue-state",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -139,6 +197,11 @@ type PortInfo struct {
 	ExternalDomain string
 	// Radio names the BS group served through this port, if any.
 	Radio dataplane.DeviceID
+	// Underlying is the child-topology port a G-switch border port maps
+	// to (zero for physical switch ports). Cluster launchers use it to
+	// identify cross-region ports when injecting inter-G-switch links the
+	// distributed deployment cannot discover in-band.
+	Underlying dataplane.PortRef
 }
 
 // FeatureReply is the Body of TypeFeatureReply. For gigantic switches,
@@ -244,3 +307,122 @@ const (
 	ErrCodePermission
 	ErrCodeUnknownPort
 )
+
+// Frag is the Body of TypeFrag: one piece of a logical frame whose
+// encoding exceeds MaxFrameSize. Fragments of one logical frame are sent
+// contiguously on the conn (the sender holds its write lock across the
+// run); Last marks the final piece.
+type Frag struct {
+	Last bool
+	Data []byte
+}
+
+// NbBearer is the Body of TypeNbBearer: a route request the child could
+// not satisfy locally, translated to the child's exposed G-switch
+// (Datapath names the G-switch; From is the exposed source gport). The
+// parent resolves it recursively, implements the path with the given
+// match and bandwidth demand, and answers with an NbPathReply.
+type NbBearer struct {
+	// From is the source gport on the child's G-switch.
+	From dataplane.PortID
+	// Prefix is the destination prefix.
+	Prefix string
+	// Objective selects the routing objective (routing.Objective).
+	Objective int
+	// MaxHops / MaxLatency / MinBandwidth carry routing.Constraints.
+	MaxHops      int
+	MaxLatency   time.Duration
+	MinBandwidth float64
+	// MaxTotalHops / MaxTotalRTT bound internal + external totals.
+	MaxTotalHops int
+	MaxTotalRTT  time.Duration
+	// Match is the flow match the implemented path classifies on.
+	Match dataplane.Match
+	// Demand is the per-link bandwidth reservation in Mbps.
+	Demand float64
+}
+
+// NbPathReply is the Body of TypeNbPathReply: the outcome of a bearer
+// delegation or handover request. Err is empty on success.
+type NbPathReply struct {
+	// Path is the path ID at the owning controller.
+	Path int64
+	// Owner is the ID of the controller that resolved and owns the path.
+	Owner string
+	Err   string
+}
+
+// NbHandover is the Body of TypeNbHandover, mirroring core's §5.2
+// HandoverRequest.
+type NbHandover struct {
+	UE        string
+	SrcGBS    dataplane.DeviceID
+	SrcBS     dataplane.DeviceID
+	DstGBS    dataplane.DeviceID
+	DstBS     dataplane.DeviceID
+	Prefix    string
+	QoS       int
+	Objective int
+}
+
+// NbTeardown is the Body of TypeNbTeardown: tear down path Path at the
+// ancestor controller named Owner. The receiving parent executes it
+// itself or forwards it up the tree; the reply is an NbAck.
+type NbTeardown struct {
+	Owner string
+	Path  int64
+}
+
+// NbAck is the Body of TypeNbAck. Err is empty on success.
+type NbAck struct {
+	Err string
+}
+
+// NbRouteOption is one translated interdomain route option in an
+// NbInterdomain push: the egress name, the gport on the child's exposed
+// G-switch, and the externally measured metrics.
+type NbRouteOption struct {
+	Prefix string
+	Egress string
+	Port   dataplane.PortID
+	Hops   int
+	RTT    time.Duration
+}
+
+// NbInterdomain is the Body of TypeNbInterdomain: the child's interdomain
+// route options translated to its exposed G-switch ports, in the child's
+// deterministic (sorted-prefix, option-append) order. The parent appends
+// them in exactly this order — Route() tie-breaks on append order, so the
+// order is replay-visible.
+type NbInterdomain struct {
+	Options []NbRouteOption
+}
+
+// NbFabric is the Body of TypeNbFabric: the child's updated virtual
+// fabric (gob-nested — fabrics are deep structure off the hot path).
+type NbFabric struct {
+	Fabric *dataplane.VFabric
+}
+
+// NbReabstract is the Body of TypeNbReabstract.
+type NbReabstract struct{}
+
+// NbUERow is one transferred UE table row in an NbUEState message. Owner
+// names the controller owning the row's path; the adopting controller
+// rebinds it to itself or to a northbound proxy.
+type NbUERow struct {
+	UE     string
+	BS     dataplane.DeviceID
+	Group  dataplane.DeviceID
+	Prefix string
+	QoS    int
+	Path   int64
+	Owner  string
+	Active bool
+}
+
+// NbUEState is the Body of TypeNbUEState: UE rows for the receiver to
+// adopt (§5.3.2). Answered with an NbAck.
+type NbUEState struct {
+	Rows []NbUERow
+}

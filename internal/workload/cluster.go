@@ -13,7 +13,11 @@ import (
 
 // Region is one leaf region of a generated cluster.
 type Region struct {
-	// Leaf is the region's controller.
+	// Leaf is the region's controller. In a region slice
+	// (BuildRegionSlice) it is nil for regions owned by other processes;
+	// the name fields below are populated for every region, because the
+	// schedule references remote regions by name (inter-region handover
+	// targets, remote prefixes).
 	Leaf *core.Controller
 	// Group is the region's border BS group; border groups are exposed to
 	// the parent under their own ID, so Group doubles as the G-BS ID
@@ -31,21 +35,118 @@ type Region struct {
 // (access — two middles — egress) joined in a ring, one border group and
 // one egress prefix per region, under a two-level hierarchy.
 type Cluster struct {
-	Net     *dataplane.Network
-	Hier    *core.Hierarchy
+	Net  *dataplane.Network
+	Hier *core.Hierarchy
+	// Regions spans the full cluster. In a region slice only
+	// Regions[Lo:Hi] carry a Leaf (and Hier is nil — the root lives in
+	// the launcher process, attached over the northbound wire).
 	Regions []Region
+	// Lo and Hi bound the regions this process owns: [0, len(Regions))
+	// for a full in-process cluster.
+	Lo, Hi int
+}
+
+// regionNames fills the deterministic name fields for region k.
+func regionNames(k, bsPerRegion int) Region {
+	bses := make([]dataplane.DeviceID, bsPerRegion)
+	for j := range bses {
+		bses[j] = dataplane.DeviceID(fmt.Sprintf("b%d-%d", k, j))
+	}
+	return Region{
+		Group:  dataplane.DeviceID(fmt.Sprintf("g%d", k)),
+		BSes:   bses,
+		Prefix: interdomain.PrefixID(fmt.Sprintf("pfx%d", k)),
+	}
+}
+
+// addRegionDataplane builds region k's diamond (access — two middles —
+// egress), radio port, and egress point in net, returning the region's
+// populated name fields, its leaf spec, and its egress point. Port
+// numbering per switch is independent of which other regions exist in
+// net, which is what lets a region slice reproduce the exact features the
+// full cluster's switches expose.
+func addRegionDataplane(net *dataplane.Network, k, bsPerRegion int) (Region, core.LeafSpec, *dataplane.EgressPoint, error) {
+	a := dataplane.DeviceID(fmt.Sprintf("A%d", k))
+	ma := dataplane.DeviceID(fmt.Sprintf("M%da", k))
+	mb := dataplane.DeviceID(fmt.Sprintf("M%db", k))
+	e := dataplane.DeviceID(fmt.Sprintf("E%d", k))
+	for _, id := range []dataplane.DeviceID{a, ma, mb, e} {
+		net.AddSwitch(id)
+	}
+	for _, c := range []struct {
+		x, y dataplane.DeviceID
+		lat  time.Duration
+	}{{a, ma, 2 * time.Millisecond}, {a, mb, 3 * time.Millisecond},
+		{ma, e, 2 * time.Millisecond}, {mb, e, 3 * time.Millisecond}} {
+		if _, err := net.Connect(c.x, c.y, c.lat, 10_000); err != nil {
+			return Region{}, core.LeafSpec{}, nil, err
+		}
+	}
+	reg := regionNames(k, bsPerRegion)
+	rp, err := net.AddRadioPort(a, reg.Group)
+	if err != nil {
+		return Region{}, core.LeafSpec{}, nil, err
+	}
+	ep, err := net.AddEgress(fmt.Sprintf("X%d", k), e, fmt.Sprintf("isp%d", k))
+	if err != nil {
+		return Region{}, core.LeafSpec{}, nil, err
+	}
+	reg.Attach = dataplane.PortRef{Dev: a, Port: rp.ID}
+	bsGroup := make(map[dataplane.DeviceID]dataplane.DeviceID, bsPerRegion)
+	for _, bs := range reg.BSes {
+		bsGroup[bs] = reg.Group
+	}
+	spec := core.LeafSpec{
+		ID:       fmt.Sprintf("L%d", k),
+		Switches: []dataplane.DeviceID{a, ma, mb, e},
+		Radios:   []reca.RadioAttachment{{ID: reg.Group, Attach: reg.Attach, Border: true}},
+		BSGroup:  bsGroup,
+	}
+	return reg, spec, ep, nil
+}
+
+// attachDelayed replaces a leaf's in-process switch adapters with
+// protocol devices: a real agent per switch served over an in-memory
+// pipe whose device→controller leg is held back by a DelayedConn — so
+// the workload exercises the binary codec, the ConnDevice completion
+// pipeline, and genuine WAN round-trip overlap rather than a per-call
+// sleep.
+func attachDelayed(net *dataplane.Network, leaf *core.Controller, controlDelay time.Duration) error {
+	for _, d := range leaf.Devices() {
+		sw := net.Switch(d.ID())
+		if sw == nil {
+			continue // G-switch or other virtual device
+		}
+		agent := southbound.NewSwitchAgent(net, sw)
+		ctrlEnd, devEnd := southbound.Pipe(256)
+		go agent.Serve(southbound.NewDelayedConn(devEnd, controlDelay))
+		cd, err := core.DialDevice(ctrlEnd, leaf.ID)
+		if err != nil {
+			return fmt.Errorf("workload: dial %s: %w", d.ID(), err)
+		}
+		leaf.AttachDevice(cd)
+	}
+	return nil
+}
+
+// addInterdomain wires region r's prefix to exit via its own egress.
+// Propagation to the parent is the caller's job: the in-process build
+// propagates immediately, a region slice waits until the launcher
+// sequences the pushes in region order over the wire (the root appends
+// route options in push order, and the tie-break depends on it).
+func addInterdomain(r *Region, ep *dataplane.EgressPoint) {
+	r.Leaf.AddInterdomainRoutes([]interdomain.Route{{
+		Prefix: r.Prefix, Egress: ep.ID, EgressSwitch: ep.Switch,
+		Metrics: interdomain.Metrics{Hops: 2, RTT: 8 * time.Millisecond},
+	}}, dataplane.PortRef{Dev: ep.Switch, Port: ep.Port})
 }
 
 // BuildCluster constructs the R-region ring with bsPerRegion base
 // stations per region and the given UE-store shard count on every
 // controller (0 keeps core.DefaultUEShards; 1 is the coarse single-mutex
 // baseline). controlDelay > 0 re-attaches every leaf's physical switches
-// through the real southbound protocol — a switch agent served over an
-// in-memory pipe whose device→controller leg is held back by a
-// DelayedConn — so the workload exercises the binary codec, the
-// ConnDevice completion pipeline, and genuine WAN round-trip overlap
-// rather than a per-call sleep. Construction is deterministic — no RNG
-// is consumed.
+// through the real southbound protocol over delayed pipes. Construction
+// is deterministic — no RNG is consumed.
 func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) (*Cluster, error) {
 	if regions < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
@@ -54,54 +155,16 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 		return nil, fmt.Errorf("workload: need at least 1 BS per region, got %d", bsPerRegion)
 	}
 	net := dataplane.NewNetwork()
-	cl := &Cluster{Net: net}
+	cl := &Cluster{Net: net, Lo: 0, Hi: regions}
 	specs := make([]core.LeafSpec, 0, regions)
 	egresses := make([]*dataplane.EgressPoint, 0, regions)
 	for k := 0; k < regions; k++ {
-		a := dataplane.DeviceID(fmt.Sprintf("A%d", k))
-		ma := dataplane.DeviceID(fmt.Sprintf("M%da", k))
-		mb := dataplane.DeviceID(fmt.Sprintf("M%db", k))
-		e := dataplane.DeviceID(fmt.Sprintf("E%d", k))
-		for _, id := range []dataplane.DeviceID{a, ma, mb, e} {
-			net.AddSwitch(id)
-		}
-		for _, c := range []struct {
-			x, y dataplane.DeviceID
-			lat  time.Duration
-		}{{a, ma, 2 * time.Millisecond}, {a, mb, 3 * time.Millisecond},
-			{ma, e, 2 * time.Millisecond}, {mb, e, 3 * time.Millisecond}} {
-			if _, err := net.Connect(c.x, c.y, c.lat, 10_000); err != nil {
-				return nil, err
-			}
-		}
-		g := dataplane.DeviceID(fmt.Sprintf("g%d", k))
-		rp, err := net.AddRadioPort(a, g)
+		reg, spec, ep, err := addRegionDataplane(net, k, bsPerRegion)
 		if err != nil {
 			return nil, err
 		}
-		ep, err := net.AddEgress(fmt.Sprintf("X%d", k), e, fmt.Sprintf("isp%d", k))
-		if err != nil {
-			return nil, err
-		}
-		attach := dataplane.PortRef{Dev: a, Port: rp.ID}
-		bses := make([]dataplane.DeviceID, bsPerRegion)
-		bsGroup := make(map[dataplane.DeviceID]dataplane.DeviceID, bsPerRegion)
-		for j := range bses {
-			bses[j] = dataplane.DeviceID(fmt.Sprintf("b%d-%d", k, j))
-			bsGroup[bses[j]] = g
-		}
-		cl.Regions = append(cl.Regions, Region{
-			Group:  g,
-			BSes:   bses,
-			Prefix: interdomain.PrefixID(fmt.Sprintf("pfx%d", k)),
-			Attach: attach,
-		})
-		specs = append(specs, core.LeafSpec{
-			ID:       fmt.Sprintf("L%d", k),
-			Switches: []dataplane.DeviceID{a, ma, mb, e},
-			Radios:   []reca.RadioAttachment{{ID: g, Attach: attach, Border: true}},
-			BSGroup:  bsGroup,
-		})
+		cl.Regions = append(cl.Regions, reg)
+		specs = append(specs, spec)
 		egresses = append(egresses, ep)
 	}
 	// Ring of cross-region links: E(k) — A(k+1 mod R).
@@ -124,39 +187,112 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 		}
 	}
 	if controlDelay > 0 {
-		// Replace each leaf's in-process switch adapters with protocol
-		// devices: a real agent per switch served over a pipe, replies
-		// delayed by the emulated propagation time. Fences across switches
-		// overlap through the ConnDevice barrier-completion pipeline, so a
-		// multi-device path setup pays ~one delay of wall time, not one
-		// per device — the behavior the paper's WAN deployment depends on.
 		for _, leaf := range hier.Leaves {
-			for _, d := range leaf.Devices() {
-				sw := net.Switch(d.ID())
-				if sw == nil {
-					continue // G-switch or other virtual device
-				}
-				agent := southbound.NewSwitchAgent(net, sw)
-				ctrlEnd, devEnd := southbound.Pipe(256)
-				go agent.Serve(southbound.NewDelayedConn(devEnd, controlDelay))
-				cd, err := core.DialDevice(ctrlEnd, leaf.ID)
-				if err != nil {
-					return nil, fmt.Errorf("workload: dial %s: %w", d.ID(), err)
-				}
-				leaf.AttachDevice(cd)
+			if err := attachDelayed(net, leaf, controlDelay); err != nil {
+				return nil, err
 			}
 		}
 	}
-	// Interdomain: each region's prefix exits via its own egress.
+	// Interdomain: each region's prefix exits via its own egress,
+	// propagated upward in region order.
 	for k := range cl.Regions {
 		r := &cl.Regions[k]
 		r.Leaf = hier.Leaves[k]
-		ep := egresses[k]
-		r.Leaf.AddInterdomainRoutes([]interdomain.Route{{
-			Prefix: r.Prefix, Egress: ep.ID, EgressSwitch: ep.Switch,
-			Metrics: interdomain.Metrics{Hops: 2, RTT: 8 * time.Millisecond},
-		}}, dataplane.PortRef{Dev: ep.Switch, Port: ep.Port})
+		addInterdomain(r, egresses[k])
 		r.Leaf.PropagateInterdomain()
 	}
 	return cl, nil
+}
+
+// BuildRegionSlice constructs the [lo, hi) slice of the R-region ring for
+// one region process of a distributed cluster: only the owned regions'
+// switches exist in this process's data plane, with the ring links at the
+// slice boundaries replaced by stub ports. A stub port carries the same
+// port number and reports the same feature bits (up, internal, no radio)
+// as its connected counterpart in the full cluster, so the leaf's
+// discovery, abstraction, and G-switch exposure are byte-identical to the
+// in-process build — the property the replay-digest comparison relies on.
+// The cross-boundary connectivity lives only in the launcher's root NIB,
+// which stitches G-switch-level ring links from the exposed ports.
+//
+// Leaves are bootstrapped but not attached to any parent; the caller
+// connects each to the launcher over the northbound wire and sequences
+// interdomain propagation in region order.
+func BuildRegionSlice(regions, bsPerRegion, shards int, controlDelay time.Duration, lo, hi int) (*Cluster, error) {
+	if regions < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
+	}
+	if bsPerRegion < 1 {
+		return nil, fmt.Errorf("workload: need at least 1 BS per region, got %d", bsPerRegion)
+	}
+	if lo < 0 || hi <= lo || hi > regions {
+		return nil, fmt.Errorf("workload: bad region slice [%d, %d) of %d", lo, hi, regions)
+	}
+	net := dataplane.NewNetwork()
+	cl := &Cluster{Net: net, Regions: make([]Region, regions), Lo: lo, Hi: hi}
+	for k := range cl.Regions {
+		cl.Regions[k] = regionNames(k, bsPerRegion)
+	}
+	specs := make(map[int]core.LeafSpec, hi-lo)
+	egresses := make(map[int]*dataplane.EgressPoint, hi-lo)
+	for k := lo; k < hi; k++ {
+		reg, spec, ep, err := addRegionDataplane(net, k, bsPerRegion)
+		if err != nil {
+			return nil, err
+		}
+		cl.Regions[k] = reg
+		specs[k] = spec
+		egresses[k] = ep
+	}
+	// Ring phase, mirroring the full build's k = lo..hi-1 pass: a link is
+	// real when both endpoints are owned, a stub port otherwise. The stub
+	// occupies the same NextFreePort slot the Connect would have.
+	full := hi-lo == regions
+	for k := lo; k < hi; k++ {
+		e := dataplane.DeviceID(fmt.Sprintf("E%d", k))
+		next := (k + 1) % regions
+		a := dataplane.DeviceID(fmt.Sprintf("A%d", next))
+		if next >= lo && next < hi && (k+1 < hi || full) {
+			if _, err := net.Connect(e, a, 4*time.Millisecond, 10_000); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sw := net.Switch(e)
+		sw.AddPort(sw.NextFreePort())
+	}
+	if !full {
+		// The ring-in port of the first owned region: its neighbor's
+		// Connect would have added it in the full build.
+		sw := net.Switch(dataplane.DeviceID(fmt.Sprintf("A%d", lo)))
+		sw.AddPort(sw.NextFreePort())
+	}
+
+	for k := lo; k < hi; k++ {
+		leaf := core.NewController(fmt.Sprintf("L%d", k), 1, k)
+		if err := core.BootstrapLeaf(net, leaf, specs[k]); err != nil {
+			return nil, err
+		}
+		if shards != 0 {
+			leaf.SetUEShardCount(shards)
+		}
+		if controlDelay > 0 {
+			if err := attachDelayed(net, leaf, controlDelay); err != nil {
+				return nil, err
+			}
+		}
+		cl.Regions[k].Leaf = leaf
+		addInterdomain(&cl.Regions[k], egresses[k])
+	}
+	return cl, nil
+}
+
+// OwnedLeaves lists the cluster's leaf controllers in region order — for
+// a slice, only the owned ones.
+func (cl *Cluster) OwnedLeaves() []*core.Controller {
+	out := make([]*core.Controller, 0, cl.Hi-cl.Lo)
+	for k := cl.Lo; k < cl.Hi; k++ {
+		out = append(out, cl.Regions[k].Leaf)
+	}
+	return out
 }

@@ -174,6 +174,34 @@ func NewEngine(cfg Config) (*Engine, *Cluster, error) {
 	return &Engine{cfg: cfg, cl: cl}, cl, nil
 }
 
+// NewEngineOn prepares an engine over an already built cluster — the
+// region-slice path, where the caller has connected the slice's leaves to
+// a remote parent before any load runs. The caller must pass RunOps only
+// ops whose Region the cluster owns.
+func NewEngineOn(cfg Config, cl *Cluster) (*Engine, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, cl: cl}, nil
+}
+
+// OwnedOps filters a generated schedule down to the ops this cluster
+// executes: those targeting regions in [Lo, Hi). Per-UE order is
+// preserved; an op's execution never depends on another region's ops
+// because roamed UEs stay pinned to their source region's leaf.
+func (cl *Cluster) OwnedOps(ops []Op) []Op {
+	if cl.Lo == 0 && cl.Hi == len(cl.Regions) {
+		return ops
+	}
+	out := make([]Op, 0, len(ops)/(len(cl.Regions)/(cl.Hi-cl.Lo))+1)
+	for _, op := range ops {
+		if op.Region >= cl.Lo && op.Region < cl.Hi {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
 // wallClock reads the wall clock for latency measurement only; nothing
 // replayable (schedule, UE state, digests) depends on the value.
 func wallClock() time.Time {
@@ -184,7 +212,13 @@ func wallClock() time.Time {
 // The schedule and the final logical UE-table state depend only on
 // (seed, config); timings and stall counts are measurements.
 func (e *Engine) Run() *Result {
-	ops := NewGenerator(e.cfg).Generate()
+	return e.RunOps(NewGenerator(e.cfg).Generate())
+}
+
+// RunOps executes a pre-generated (possibly region-filtered) schedule.
+// Distributed runs generate the full schedule in every process from the
+// shared (seed, config) and hand each engine its owned subset.
+func (e *Engine) RunOps(ops []Op) *Result {
 	start := wallClock()
 	if e.cfg.Mode == ModeClosed {
 		e.runClosed(ops)

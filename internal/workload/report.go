@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
+	"runtime"
 
 	"repro/internal/core"
 )
@@ -18,25 +20,42 @@ func TraceDigest(ops []Op) string {
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// StateDigest hashes the final logical UE-table state across every
-// controller in the cluster: per controller (root first, then leaves in
-// region order), each UE row's seed-determined fields — UE, BS, Group,
-// Prefix, QoS, Active. PathID and HandledBy are deliberately excluded:
-// path identifiers depend on the interleaving of concurrent setups, while
-// the logical table state does not.
-func StateDigest(cl *Cluster) string {
-	h := fnv.New64a()
-	write := func(c *core.Controller) {
-		fmt.Fprintf(h, "# %s\n", c.ID)
-		for _, r := range c.UERecords() { // sorted by UE ID
-			fmt.Fprintf(h, "%s %s %s %s %d %t\n", r.UE, r.BS, r.Group, r.Prefix, r.QoS, r.Active)
-		}
+// StateSection renders one controller's contribution to the state digest:
+// a header line naming the controller, then each UE row's seed-determined
+// fields — UE, BS, Group, Prefix, QoS, Active. PathID and HandledBy are
+// deliberately excluded: path identifiers depend on the interleaving of
+// concurrent setups, while the logical table state does not. Sections are
+// the unit a distributed run ships to its launcher, which composes them
+// into the same digest an in-process run computes directly.
+func StateSection(c *core.Controller) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# %s\n", c.ID)
+	for _, r := range c.UERecords() { // sorted by UE ID
+		fmt.Fprintf(&b, "%s %s %s %s %d %t\n", r.UE, r.BS, r.Group, r.Prefix, r.QoS, r.Active)
 	}
-	write(cl.Hier.Root)
-	for _, leaf := range cl.Hier.Leaves {
-		write(leaf)
+	return b.Bytes()
+}
+
+// ComposeStateDigest hashes pre-rendered state sections in order. Callers
+// must pass the root's section first, then each leaf's in region order —
+// the order StateDigest uses — for the digests to be comparable.
+func ComposeStateDigest(sections [][]byte) string {
+	h := fnv.New64a()
+	for _, s := range sections {
+		h.Write(s)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// StateDigest hashes the final logical UE-table state across every
+// controller in the cluster: root first, then leaves in region order.
+func StateDigest(cl *Cluster) string {
+	sections := make([][]byte, 0, 1+len(cl.Hier.Leaves))
+	sections = append(sections, StateSection(cl.Hier.Root))
+	for _, leaf := range cl.Hier.Leaves {
+		sections = append(sections, StateSection(leaf))
+	}
+	return ComposeStateDigest(sections)
 }
 
 // FinalUECount sums UE-table rows across every controller.
@@ -58,7 +77,9 @@ type BaselineComparison struct {
 	Speedup        float64 `json:"speedup"`
 }
 
-// ReportConfig is the config echo embedded in a report.
+// ReportConfig is the config echo embedded in a report, including the
+// runtime provenance (Go toolchain, scheduler width, host CPU count) a
+// reader needs to judge whether two benchmark documents are comparable.
 type ReportConfig struct {
 	Seed        int64   `json:"seed"`
 	Regions     int     `json:"regions"`
@@ -70,6 +91,22 @@ type ReportConfig struct {
 	Workers     int     `json:"workers"`
 	MaxInFlight int     `json:"max_in_flight"`
 	RatePerSec  float64 `json:"rate_per_sec"`
+	GoVersion   string  `json:"go_version"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	NumCPU      int     `json:"num_cpu"`
+}
+
+// buildReportConfig echoes cfg with the runtime provenance filled in.
+func buildReportConfig(cfg Config) ReportConfig {
+	return ReportConfig{
+		Seed: cfg.Seed, Regions: cfg.Regions, BSPerRegion: cfg.BSPerRegion,
+		UEs: cfg.UEs, Events: cfg.Events, Shards: cfg.Shards,
+		Mode: string(cfg.Mode), Workers: cfg.Workers,
+		MaxInFlight: cfg.MaxInFlight, RatePerSec: cfg.RatePerSec,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
 }
 
 // Report is the BENCH_workload.json document.
@@ -85,6 +122,33 @@ type Report struct {
 	StateDigest  string              `json:"state_digest"`
 	FinalUEs     int                 `json:"final_ues"`
 	Baseline     *BaselineComparison `json:"baseline,omitempty"`
+	Distributed  *DistributedStats   `json:"distributed,omitempty"`
+}
+
+// RegionProcStats is one region process's contribution to a distributed
+// run.
+type RegionProcStats struct {
+	// Proc is the process index; Lo/Hi bound its owned regions.
+	Proc int `json:"proc"`
+	Lo   int `json:"lo"`
+	Hi   int `json:"hi"`
+	// Events is the number of schedule ops the process executed.
+	Events       int     `json:"events"`
+	Failures     int64   `json:"failures"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// RegionEvents maps each owned region index to its op count.
+	RegionEvents map[string]int `json:"region_events"`
+}
+
+// DistributedStats summarizes a multi-process run: the per-process rates
+// and the aggregate the scaling experiment plots.
+type DistributedStats struct {
+	Procs int               `json:"procs"`
+	Per   []RegionProcStats `json:"per_proc"`
+	// AggregateEPS is total executed events over the slowest process's
+	// wall time — the cluster-level sustained rate.
+	AggregateEPS float64 `json:"aggregate_events_per_sec"`
 }
 
 // BuildReport assembles the report for one finished run.
@@ -94,12 +158,7 @@ func BuildReport(cfg Config, cl *Cluster, res *Result) *Report {
 		panic(err)
 	}
 	return &Report{
-		Config: ReportConfig{
-			Seed: cfg.Seed, Regions: cfg.Regions, BSPerRegion: cfg.BSPerRegion,
-			UEs: cfg.UEs, Events: cfg.Events, Shards: cfg.Shards,
-			Mode: string(cfg.Mode), Workers: cfg.Workers,
-			MaxInFlight: cfg.MaxInFlight, RatePerSec: cfg.RatePerSec,
-		},
+		Config:       buildReportConfig(cfg),
 		Events:       len(res.Ops),
 		Failures:     res.Failures,
 		ElapsedSec:   res.Elapsed.Seconds(),
