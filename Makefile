@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-workload smoke-dist docs-check lint fuzz
+.PHONY: build test vet race chaos check bench bench-workload smoke-dist smoke-failover docs-check lint fuzz
 
 build:
 	$(GO) build ./...
@@ -63,3 +63,19 @@ bench-workload:
 smoke-dist:
 	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
 	  -procs 2 -verify-inproc -out /tmp/BENCH_workload_dist.json
+
+# Failover smoke: a fixed-seed run that kills the HA master mid-workload
+# and promotes the standby from an incremental snapshot. Run twice: both
+# runs must land on identical replay digests, and each run's failover
+# passes must match its own plain run (bounded loss = zero lost events).
+smoke-failover:
+	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
+	  -chaos-failover -out /tmp/BENCH_failover_a.json
+	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
+	  -chaos-failover -out /tmp/BENCH_failover_b.json
+	@python3 -c "import json; \
+a = json.load(open('/tmp/BENCH_failover_a.json')); \
+b = json.load(open('/tmp/BENCH_failover_b.json')); \
+assert a['state_digest'] == b['state_digest'] and a['trace_digest'] == b['trace_digest'], 'failover smoke not replayable'; \
+assert a['failover']['digests_match'] and b['failover']['digests_match'], 'failover run diverged from plain run'; \
+print('failover smoke: digests identical, %.0fx replay reduction' % a['failover']['replay_reduction'])"

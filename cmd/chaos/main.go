@@ -23,6 +23,7 @@ func main() {
 	events := flag.Int("events", 500, "number of fault events to inject (0 = unbounded)")
 	regions := flag.Int("regions", 3, "number of leaf regions in the ring")
 	verbose := flag.Bool("v", false, "stream the event log")
+	snapEvery := flag.Int("snapshot-every", 64, "checkpoint each HA pair's replica every N committed log entries (0 = never snapshot, promotion replays full history)")
 	showMetrics := flag.Bool("metrics", false, "dump runtime metrics (graph-cache counters, recompute latency) after the run")
 	flag.Parse()
 
@@ -34,6 +35,7 @@ func main() {
 
 	h, err := chaos.New(chaos.Options{
 		Seed: *seed, Regions: *regions, Verbose: *verbose, LogTo: os.Stdout,
+		SnapshotEvery: *snapEvery,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -63,10 +65,10 @@ func main() {
 	s := h.Stats()
 	fmt.Printf("chaos: PASS — %d events, %d bearers added, %d teardowns, %d link failures, "+
 		"%d restores, %d flaps, %d silent port-downs, %d install-fault trials (%d fired), "+
-		"%d failovers, %d reconfigs, %d repairs-by-probe, %d retries\n",
+		"%d failovers (%d redone, %d replayed on promote), %d reconfigs, %d repairs-by-probe, %d retries\n",
 		s.Events, s.BearersAdded, s.Teardowns, s.LinkFails, s.LinkRestores, s.Flaps,
-		s.SilentPortDowns, s.InstallFaults, s.FaultsInjected, s.Failovers, s.Reconfigs,
-		s.Redos, s.Retries)
+		s.SilentPortDowns, s.InstallFaults, s.FaultsInjected, s.Failovers,
+		s.RedoneOnPromote, s.ReplayedOnPromote, s.Reconfigs, s.Redos, s.Retries)
 	if *showMetrics {
 		fmt.Println("runtime metrics:")
 		metrics.WriteRuntime(os.Stdout)

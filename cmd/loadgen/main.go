@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/ltetrace"
 	"repro/internal/workload"
@@ -69,6 +70,11 @@ func realMain() int {
 		compare   = flag.Bool("compare", false, "run a bearer-heavy pass at -shards 1 and again at -shards, report the speedup")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this path")
 		mtxProf   = flag.String("mutexprofile", "", "write a mutex-contention profile of the run to this path")
+		chaosFail = flag.Bool("chaos-failover", false, "kill the HA master mid-run and measure the promotion: runs the schedule twice (incremental snapshots, then full-history replay), asserts both land on the plain run's state digest, and emits the failover report section")
+		killAt    = flag.Int("kill-at", 0, "op index at which the master dies under -chaos-failover (0 = halfway through the run)")
+		lostCmts  = flag.Int("lost-commits", 3, "acked ops whose commits the dying master loses under -chaos-failover")
+		abandonW  = flag.Int("abandon", 4, "in-flight ops the dying master abandons (logged, unprocessed) under -chaos-failover")
+		snapEvery = flag.Int("snapshot-every", 64, "checkpoint the replicated UE table every N committed entries under -chaos-failover")
 		procs     = flag.Int("procs", 0, "region processes: >0 runs the distributed multi-process mode with the regions split contiguously among this many processes (0 = in-process)")
 		regionBin = flag.String("region-bin", "", "region process binary for -procs (empty = re-exec this binary with -as-region)")
 		verify    = flag.Bool("verify-inproc", false, "after a -procs run, re-run in-process and require identical replay digests")
@@ -154,6 +160,16 @@ func realMain() int {
 			fatal(err)
 		}
 	}
+	if *chaosFail {
+		if *procs > 0 {
+			fatal(fmt.Errorf("-chaos-failover runs in-process only (not with -procs)"))
+		}
+		sec, ferr := failoverPasses(cfg, rep.StateDigest, *killAt, *lostCmts, *abandonW, *snapEvery)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		rep.Failover = sec
+	}
 	if *compare {
 		base, err := comparePass(cfg, 1)
 		if err != nil {
@@ -200,10 +216,51 @@ func realMain() int {
 		fmt.Printf("loadgen: %d procs aggregate: %.0f ev/s\n",
 			rep.Distributed.Procs, rep.Distributed.AggregateEPS)
 	}
+	if fo := rep.Failover; fo != nil {
+		for _, p := range []*workload.FailoverPassStats{fo.Snapshot, fo.FullReplay} {
+			kind := "snapshots off (full replay)"
+			if p.SnapshotEvery > 0 {
+				kind = fmt.Sprintf("snapshot every %d", p.SnapshotEvery)
+			}
+			fmt.Printf("loadgen: failover [%s]: kill@%d, promotion %.2fms (recovery %.2fms), "+
+				"%d redone, %d replayed (snapshot %dB seq %d), %d dups caught, %d lost, log %d->%d entries\n",
+				kind, p.KillAtOp, float64(p.PromotionLatencyNs)/1e6, float64(p.RecoveryWallNs)/1e6,
+				p.RedoneEntries, p.ReplayedEntries, p.SnapshotBytes, p.SnapshotSeq,
+				p.DuplicatesDetected, p.EventsLost, p.LogLenAtPromote, p.LogLenFinal)
+		}
+		fmt.Printf("loadgen: failover: replay reduction %.1fx, digests match plain run: %t\n",
+			fo.ReplayReduction, fo.DigestsMatch)
+		if !fo.DigestsMatch {
+			fmt.Fprintln(os.Stderr, "loadgen: chaos-failover FAILED: a failover run diverged from the plain run")
+			return 1
+		}
+	}
 	if rep.Failures > 0 {
 		return 1
 	}
 	return 0
+}
+
+// failoverPasses runs the schedule twice under a planned master crash —
+// once with incremental snapshots, once with full-history replay — and
+// cross-checks both final states against the plain run's digest.
+func failoverPasses(cfg workload.Config, baseDigest string, killAt, lost, abandon, snapEvery int) (*workload.FailoverSection, error) {
+	if killAt <= 0 {
+		killAt = cfg.Events / 2
+	}
+	spec := chaos.FailoverSchedule{
+		KillAt: killAt, LostCommits: lost, Abandon: abandon, SnapshotEvery: snapEvery,
+	}
+	_, _, snap, err := workload.RunFailoverPass(cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("failover snapshot pass: %w", err)
+	}
+	spec.SnapshotEvery = 0
+	_, _, full, err := workload.RunFailoverPass(cfg, spec)
+	if err != nil {
+		return nil, fmt.Errorf("failover full-replay pass: %w", err)
+	}
+	return workload.BuildFailoverSection(baseDigest, snap, full), nil
 }
 
 // regionMode serves the region-process protocol on stdio (the -as-region

@@ -42,8 +42,9 @@ import (
 // chaos harness's byte-identical seed replay flows through (core rule
 // programming, the harness itself, the wire protocol, the virtual clock)
 // plus the NIB, whose accessor and notification order reaches the replay
-// log, and the workload engine, whose schedule and state digests must be
-// pure functions of (seed, config).
+// log, the workload engine, whose schedule and state digests must be
+// pure functions of (seed, config), and the HA snapshot/promotion layer,
+// whose checkpoint and redo order the failover smoke replays byte-for-byte.
 var determinismPkgs = map[string]bool{
 	"repro/internal/core":       true,
 	"repro/internal/chaos":      true,
@@ -51,6 +52,7 @@ var determinismPkgs = map[string]bool{
 	"repro/internal/simnet":     true,
 	"repro/internal/nib":        true,
 	"repro/internal/workload":   true,
+	"repro/internal/ha":         true,
 }
 
 // runConfigured executes every analyzer that applies to the package under

@@ -22,14 +22,15 @@ func main() {
 
 	var redone []string
 	pair := ha.NewPair(sim, store, "ctrl-LA-master", "ctrl-LA-standby",
-		func(e nib.LogEntry) {
+		func(e nib.LogEntry) error {
 			redone = append(redone, fmt.Sprintf("%s(%v)", e.Kind, e.Payload))
+			return nil
 		})
 
 	// Normal operation: events are logged, processed, and marked done.
 	for i := 0; i < 3; i++ {
 		req := fmt.Sprintf("bearer-%d", i)
-		if err := pair.HandleEvent("bearer", req, func() {}); err != nil {
+		if err := pair.HandleEvent("bearer", req, func() error { return nil }); err != nil {
 			panic(err)
 		}
 	}

@@ -31,6 +31,11 @@ type Options struct {
 	Regions int
 	// MaxBearers caps concurrently active bearers (default 10 per region).
 	MaxBearers int
+	// SnapshotEvery checkpoints each pair's replica every N committed log
+	// entries and truncates the log below the checkpoint's low-water mark;
+	// 0 disables snapshotting, so promotion rebuilds replay the full
+	// retained history.
+	SnapshotEvery int
 	// Verbose streams every event line to LogTo as it happens.
 	Verbose bool
 	// LogTo receives event lines when Verbose is set.
@@ -53,6 +58,11 @@ type Stats struct {
 	Reconfigs       int
 	Redos           int
 	Retries         int
+	// RedoneOnPromote counts unfinished log entries promoted standbys
+	// re-executed; ReplayedOnPromote counts finished entries their replica
+	// rebuilds replayed on top of a checkpoint (or genesis).
+	RedoneOnPromote   int
+	ReplayedOnPromote int
 }
 
 // bearer is one harness-tracked UE bearer.
@@ -250,32 +260,42 @@ func (h *Harness) buildTopology() error {
 	return nil
 }
 
-// buildPairs starts one master/standby HA pair per controller.
+// buildPairs starts one master/standby HA pair per controller, each with a
+// replicated bearer state machine and (when configured) incremental
+// snapshotting, and a replica-rebuilding promotion path.
 func (h *Harness) buildPairs() {
 	for _, c := range h.hier.All {
-		h.pairs[c.ID] = ha.NewPair(h.sim, ha.NewSharedStore(), c.ID+"-m", c.ID+"-s", h.redoFunc())
+		store := ha.NewSharedStore()
+		store.SnapshotEvery = h.opt.SnapshotEvery
+		store.SetStateMachine(newBearerReplica())
+		p := ha.NewPair(h.sim, store, c.ID+"-m", c.ID+"-s", h.redoFunc())
+		p.NewReplica = func() ha.StateMachine { return newBearerReplica() }
+		h.pairs[c.ID] = p
 		h.pairIDs = append(h.pairIDs, c.ID)
 	}
 	sort.Strings(h.pairIDs)
 }
 
 // redoFunc is the promoted standby's WAL redo handler: it re-executes a
-// bearer request the dead master logged but never finished.
-func (h *Harness) redoFunc() func(nib.LogEntry) {
-	return func(e nib.LogEntry) {
+// bearer request the dead master logged but never finished. The returned
+// error becomes the entry's recorded outcome, so a failed redo is marked
+// failed in the log and skipped by replica rebuilds.
+func (h *Harness) redoFunc() func(nib.LogEntry) error {
+	return func(e nib.LogEntry) error {
 		pb, ok := e.Payload.(*pendingBearer)
 		if !ok || pb == nil {
-			return
+			return nil
 		}
 		leaf := h.groupLeaf[pb.b.Group]
 		if err := h.installBearer(leaf, pb.b); err != nil {
 			h.stats.BearerFailures++
 			h.logf("redo bearer-new %s FAILED: %v", pb.b.UE, err)
-			return
+			return err
 		}
 		h.bearers[pb.b.UE] = pb.b
 		h.stats.BearersAdded++
 		h.logf("redo bearer-new %s g=%s pfx=%s", pb.b.UE, pb.b.Group, pb.b.Prefix)
+		return nil
 	}
 }
 
@@ -478,25 +498,17 @@ func (h *Harness) installBearer(leaf *core.Controller, b *bearer) error {
 // every bearer event follows the §6 log-process-done discipline.
 func (h *Harness) requestBearer(b *bearer) error {
 	leaf := h.groupLeaf[b.Group]
-	var reqErr error
-	if err := h.pairs[leaf.ID].HandleEvent("bearer-new", &pendingBearer{b: b}, func() {
-		reqErr = h.installBearer(leaf, b)
-	}); err != nil {
-		return err
-	}
-	return reqErr
+	return h.pairs[leaf.ID].HandleEvent("bearer-new", &pendingBearer{b: b}, func() error {
+		return h.installBearer(leaf, b)
+	})
 }
 
 // deactivate tears a bearer down through the owning leaf's HA pair.
 func (h *Harness) deactivate(b *bearer) error {
 	leaf := h.groupLeaf[b.Group]
-	var derr error
-	if err := h.pairs[leaf.ID].HandleEvent("bearer-del", b.UE, func() {
-		derr = leaf.DeactivateBearer(b.UE)
-	}); err != nil {
-		return err
-	}
-	return derr
+	return h.pairs[leaf.ID].HandleEvent("bearer-del", b.UE, func() error {
+		return leaf.DeactivateBearer(b.UE)
+	})
 }
 
 func (h *Harness) evBearerNew() error {
@@ -646,6 +658,13 @@ func (h *Harness) evFailover() error {
 	if n := pair.MasterCount(); n != 1 {
 		return fmt.Errorf("pair %s has %d masters after failover", id, n)
 	}
+	ps := pair.LastPromotion()
+	if !ps.Converged {
+		return fmt.Errorf("pair %s replica diverged on promotion (snapshot seq %d, %d replayed)",
+			id, ps.Rebuild.SnapshotSeq, ps.Rebuild.Replayed)
+	}
+	h.stats.RedoneOnPromote += ps.Redone
+	h.stats.ReplayedOnPromote += ps.Rebuild.Replayed
 	h.nextSB++
 	pair.AttachStandby(fmt.Sprintf("%s-sb%d", id, h.nextSB), h.redoFunc())
 	h.stats.Failovers++

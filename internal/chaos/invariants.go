@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/core"
@@ -21,7 +22,10 @@ func (h *Harness) CheckInvariants() error {
 	if err := h.checkUEConsistency(); err != nil {
 		return err
 	}
-	return h.checkMastership()
+	if err := h.checkMastership(); err != nil {
+		return err
+	}
+	return h.checkReplicaConvergence()
 }
 
 // checkUEConsistency asserts every controller's UE table is coherent with
@@ -158,6 +162,28 @@ func (h *Harness) checkMastership() error {
 	for _, id := range h.pairIDs {
 		if n := h.pairs[id].MasterCount(); n != 1 {
 			return fmt.Errorf("pair %s has %d masters", id, n)
+		}
+	}
+	return nil
+}
+
+// checkReplicaConvergence rebuilds every pair's replica from its shared
+// store — committed checkpoint plus delta replay when one exists, genesis
+// replay otherwise — and asserts byte equality with the live replica. The
+// snapshot/truncation pipeline must never lose or duplicate a committed
+// effect, no matter where the last checkpoint landed.
+func (h *Harness) checkReplicaConvergence() error {
+	for _, id := range h.pairIDs {
+		store := h.pairs[id].Store
+		live := store.StateMachineSnapshot()
+		if live == nil {
+			continue
+		}
+		fresh := newBearerReplica()
+		st := store.Rebuild(fresh)
+		if got := fresh.Snapshot(); !bytes.Equal(got, live) {
+			return fmt.Errorf("pair %s replica divergence after rebuild (fromSnapshot=%t replayed=%d): rebuilt %d bytes, live %d bytes",
+				id, st.FromSnapshot, st.Replayed, len(got), len(live))
 		}
 	}
 	return nil

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/nib"
+)
+
+// bearerReplica is the harness's replicated application state: the set of
+// bearers a controller's HA pair has committed, folded from its event log.
+// It satisfies the ha.StateMachine contract — per-UE last-writer-wins, so
+// at-least-once redelivery of an entry during delta replay is harmless —
+// and serializes deterministically (sorted rows) so replica convergence
+// can be checked by byte comparison.
+type bearerReplica struct {
+	// rows maps UE → "BS Group Prefix".
+	rows map[string]string
+}
+
+func newBearerReplica() *bearerReplica {
+	return &bearerReplica{rows: make(map[string]string)}
+}
+
+// Apply folds one committed log entry: bearer-new installs the UE's row,
+// bearer-del removes it. Other kinds (crash markers, noops) are ignored.
+func (r *bearerReplica) Apply(e nib.LogEntry) {
+	switch e.Kind {
+	case "bearer-new":
+		if pb, ok := e.Payload.(*pendingBearer); ok && pb != nil {
+			r.rows[pb.b.UE] = fmt.Sprintf("%s %s %s", pb.b.BS, pb.b.Group, pb.b.Prefix)
+		}
+	case "bearer-del":
+		if ue, ok := e.Payload.(string); ok {
+			delete(r.rows, ue)
+		}
+	}
+}
+
+// Snapshot serializes the rows sorted by UE, one per line.
+func (r *bearerReplica) Snapshot() []byte {
+	ues := make([]string, 0, len(r.rows))
+	for ue := range r.rows {
+		ues = append(ues, ue)
+	}
+	sort.Strings(ues)
+	var b strings.Builder
+	for _, ue := range ues {
+		fmt.Fprintf(&b, "%s %s\n", ue, r.rows[ue])
+	}
+	return []byte(b.String())
+}
+
+// Restore replaces the rows from a Snapshot serialization.
+func (r *bearerReplica) Restore(b []byte) {
+	r.rows = make(map[string]string)
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		ue, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		r.rows[ue] = rest
+	}
+}

@@ -1,0 +1,53 @@
+package chaos
+
+import "fmt"
+
+// FailoverSchedule plans one master crash injected into a live workload
+// run (the tentpole of the failover-under-fire experiment). Op indices
+// count arrivals at the HA wrapper, 1-based:
+//
+//   - ops before KillAt-LostCommits follow the full log→process→commit
+//     discipline;
+//   - the LostCommits ops right before KillAt execute and are acknowledged,
+//     but the master dies before committing them — the §6 window the
+//     promoted standby re-delivers and the duplicate detector must catch;
+//   - the Abandon ops starting at KillAt are logged but never processed by
+//     the dying master: their callers block until the promoted standby
+//     redoes them from the log;
+//   - everything later blocks until recovery completes, then flows through
+//     the new master.
+//
+// SnapshotEvery is the store's checkpoint cadence for the run; 0 means
+// promotion rebuilds by full-history replay (the O(history) baseline the
+// incremental-snapshot pass is measured against).
+type FailoverSchedule struct {
+	KillAt        int
+	LostCommits   int
+	Abandon       int
+	SnapshotEvery int
+}
+
+// Normalized validates the schedule against a run of `events` ops driven
+// by `workers` concurrent lanes, clamping the windows to values that
+// cannot deadlock the driver: the Abandon window must fit within the
+// lanes' blocking capacity (each abandoned op parks its lane until the
+// promotion redo releases it), and both windows must fit inside the run.
+func (s FailoverSchedule) Normalized(events, workers int) (FailoverSchedule, error) {
+	if s.KillAt <= 0 {
+		return s, fmt.Errorf("chaos: failover KillAt must be positive, got %d", s.KillAt)
+	}
+	if s.LostCommits < 0 || s.Abandon < 1 {
+		return s, fmt.Errorf("chaos: failover windows out of range (lost=%d abandon=%d)", s.LostCommits, s.Abandon)
+	}
+	if s.Abandon > workers {
+		s.Abandon = workers
+	}
+	if s.LostCommits >= s.KillAt {
+		s.LostCommits = s.KillAt - 1
+	}
+	if s.KillAt+s.Abandon > events {
+		return s, fmt.Errorf("chaos: failover window [%d, %d) exceeds the %d-op run",
+			s.KillAt, s.KillAt+s.Abandon, events)
+	}
+	return s, nil
+}

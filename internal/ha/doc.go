@@ -1,0 +1,38 @@
+// Package ha implements SoftMoW's controller failure recovery (§6): every
+// logical node in the controller tree runs a master and a hot-standby
+// instance sharing a reliable NIB store and event log. The standby detects
+// master failure via heartbeats and takes over immediately, redoing any
+// events the master logged but did not finish.
+//
+// # Write-ahead discipline
+//
+// Pair.HandleEvent is the only mutation path: log the event arrival
+// (nib.EventLog.Append), process it, then Commit the outcome. A master that
+// dies between Append and Commit leaves an unfinished entry; the promoted
+// standby redoes exactly those. Commit also folds successful entries into
+// the replicated StateMachine, so the store always holds enough to rebuild
+// application state.
+//
+// # Incremental snapshots and bounded-loss promotion
+//
+// With SharedStore.SnapshotEvery set, every N committed entries the store
+// captures a Checkpoint — the serialized StateMachine plus the log's
+// low-water mark — and truncates finished entries below the mark. A
+// promoted standby with Pair.NewReplica configured then rebuilds by
+// restoring the checkpoint and replaying only the delta above it:
+// promotion cost is O(delta), not O(history). Snapshot capture is
+// two-phase (BeginSnapshot / Commit / Abandon) so a promotion racing a
+// snapshot write never observes a torn checkpoint. Replay is at-least-once
+// — entries committed above the low-water mark before capture can be both
+// in the checkpoint and in the delta — so StateMachine implementations
+// must be per-key last-writer-wins (see the StateMachine contract).
+//
+// Promotion is measured: PromotionStats records wall-clock latency, redone
+// and replayed entry counts, snapshot size, and whether the rebuilt
+// replica byte-converged with the pre-failure one; the same numbers feed
+// the ha.* runtime metrics.
+//
+// Heartbeats run on virtual time (internal/simnet) so failover behaviour
+// is deterministic and testable; Pair.PromoteNow gives chaos schedules a
+// synchronous promotion for planned failovers under live workload.
+package ha

@@ -1,21 +1,19 @@
-// Package ha implements SoftMoW's controller failure recovery (§6): every
-// logical node in the controller tree runs a master and a hot-standby
-// instance sharing a reliable NIB store and event log. The standby detects
-// master failure via heartbeats and takes over immediately, redoing any
-// events the master logged but did not finish.
-//
-// Heartbeats run on virtual time (internal/simnet) so failover behaviour is
-// deterministic and testable.
 package ha
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 	"time"
 
 	"repro/internal/nib"
 	"repro/internal/simnet"
 )
+
+// ErrNoMaster is returned by HandleEvent when neither instance of a pair
+// currently holds mastership (master dead, standby not yet promoted).
+// Callers in the failover path treat it as retryable: the op blocks until
+// the standby promotes, preserving exactly-once execution.
+var ErrNoMaster = errors.New("ha: no live master")
 
 // Role is an instance's current role.
 type Role int
@@ -38,10 +36,30 @@ func (r Role) String() string {
 // SharedStore is the reliable storage both instances share (§6: "NIB is
 // decoupled from the controller logic and stored in a reliable storage
 // system (e.g. Zookeeper). The NIB is shared between the master and
-// standby").
+// standby"). Beyond the NIB and event log it optionally replicates an
+// application StateMachine and checkpoints it incrementally (snapshot.go).
 type SharedStore struct {
 	NIB *nib.NIB
 	Log *nib.EventLog
+
+	// SnapshotEvery triggers an inline checkpoint after this many committed
+	// entries; 0 disables snapshotting (the log then grows until Compact).
+	// Set at bootstrap, before events flow.
+	SnapshotEvery int
+
+	mu sync.Mutex
+	// sm is the live replica state machine, guarded by mu.
+	sm StateMachine
+	// sinceSnap counts commits since the last committed checkpoint,
+	// guarded by mu.
+	sinceSnap int
+	// snapSeq is the sequence number of the last committed checkpoint,
+	// guarded by mu.
+	snapSeq int
+	// checkpoint is the last committed checkpoint, guarded by mu.
+	checkpoint *Checkpoint
+	// writing reports an in-progress snapshot capture, guarded by mu.
+	writing bool
 }
 
 // NewSharedStore creates a store with a fresh NIB (whose event log is
@@ -60,15 +78,15 @@ type Instance struct {
 	role Role
 	// alive reports instance liveness, guarded by mu.
 	alive bool
-	// redo is invoked for each unfinished log entry on promotion.
-	// guarded by mu.
-	redo func(nib.LogEntry)
+	// redo is invoked for each unfinished log entry on promotion; its error
+	// becomes the entry's recorded outcome. guarded by mu.
+	redo func(nib.LogEntry) error
 	// processed counts events this instance fully handled, guarded by mu.
 	processed int
 }
 
 // NewInstance creates a live instance in the given role.
-func NewInstance(id string, role Role, redo func(nib.LogEntry)) *Instance {
+func NewInstance(id string, role Role, redo func(nib.LogEntry) error) *Instance {
 	return &Instance{ID: id, role: role, alive: true, redo: redo}
 }
 
@@ -103,6 +121,18 @@ type Pair struct {
 	// master dead (must exceed HeartbeatInterval).
 	FailureTimeout time.Duration
 
+	// NewReplica, when set, makes promotion rebuild application state from
+	// the store (checkpoint + delta replay) into a fresh StateMachine and
+	// adopt it as the live replica, recording the rebuild cost and whether
+	// it converged with the pre-failure replica. Set at bootstrap.
+	NewReplica func() StateMachine
+
+	// OnPromote, when set, runs after a completed promotion with its
+	// measured stats — the hook the chaos/workload drivers use to re-attach
+	// devices to the promoted master and unblock held traffic. Set at
+	// bootstrap.
+	OnPromote func(PromotionStats)
+
 	mu sync.Mutex
 	// sim is the driving simulator; set at construction, immutable after.
 	sim *simnet.Sim
@@ -114,11 +144,14 @@ type Pair struct {
 	lastBeat time.Duration
 	// Failovers counts promotions, guarded by mu.
 	Failovers int
+	// lastPromotion records the most recent promotion's measured cost,
+	// guarded by mu.
+	lastPromotion PromotionStats
 }
 
 // NewPair creates a pair with default timing (100 ms beats, 350 ms
 // timeout) and starts the heartbeat machinery on the simulator.
-func NewPair(sim *simnet.Sim, store *SharedStore, masterID, standbyID string, redo func(nib.LogEntry)) *Pair {
+func NewPair(sim *simnet.Sim, store *SharedStore, masterID, standbyID string, redo func(nib.LogEntry) error) *Pair {
 	p := &Pair{
 		Store:             store,
 		HeartbeatInterval: 100 * time.Millisecond,
@@ -157,20 +190,22 @@ func (p *Pair) Standby() *Instance {
 }
 
 // HandleEvent runs one control-plane event through the write-ahead log
-// discipline: log arrival → process → mark done. Returns an error when no
-// master is available.
-func (p *Pair) HandleEvent(kind string, payload interface{}, process func()) error {
+// discipline: log arrival → process → commit outcome (which also applies
+// successful entries to the replicated StateMachine and checkpoints on
+// cadence). Returns ErrNoMaster when no master is available, else the
+// process error.
+func (p *Pair) HandleEvent(kind string, payload interface{}, process func() error) error {
 	m := p.Master()
 	if m == nil {
-		return fmt.Errorf("ha: no live master")
+		return ErrNoMaster
 	}
 	id := p.Store.Log.Append(kind, payload)
-	process()
-	p.Store.Log.MarkDone(id)
+	err := process()
+	p.Store.Commit(id, err)
 	m.mu.Lock()
 	m.processed++
 	m.mu.Unlock()
-	return nil
+	return err
 }
 
 // LogOnly records an event arrival without completing it — used to model a
@@ -183,7 +218,7 @@ func (p *Pair) LogOnly(kind string, payload interface{}) uint64 {
 // the pair survivable again: the promoted instance moves into the master
 // slot and the new instance takes the standby slot. The heartbeat clock
 // resets so the newcomer isn't immediately promoted off stale state.
-func (p *Pair) AttachStandby(id string, redo func(nib.LogEntry)) *Instance {
+func (p *Pair) AttachStandby(id string, redo func(nib.LogEntry) error) *Instance {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleMaster {
@@ -207,6 +242,22 @@ func (p *Pair) KillMaster() {
 	}
 }
 
+// PromoteNow fails the master and promotes the standby synchronously,
+// without waiting for the heartbeat timeout — the planned-failover path
+// chaos schedules use so the blackout window is the promotion itself, not
+// detection latency. Reports whether a promotion actually ran (false when
+// no live standby exists or it is already master).
+func (p *Pair) PromoteNow() bool {
+	p.KillMaster()
+	p.mu.Lock()
+	can := p.standby != nil && p.standby.Alive() && p.standby.Role() == RoleStandby
+	p.mu.Unlock()
+	if !can {
+		return false
+	}
+	return p.promote()
+}
+
 func (p *Pair) scheduleBeat() {
 	p.sim.After(p.HeartbeatInterval, func() {
 		p.mu.Lock()
@@ -219,7 +270,7 @@ func (p *Pair) scheduleBeat() {
 }
 
 func (p *Pair) scheduleCheck() {
-	p.sim.After(p.FailureTimeout / 2, func() {
+	p.sim.After(p.FailureTimeout/2, func() {
 		p.check()
 		p.scheduleCheck()
 	})
@@ -237,32 +288,81 @@ func (p *Pair) check() {
 	p.promote()
 }
 
+// wallClock reads the real clock for promotion-latency measurement. Virtual
+// (sim) time cannot measure promotion cost: the redo/rebuild work runs
+// between sim steps, so sim.Now() would report zero.
+func wallClock() time.Time {
+	return time.Now() //softmow:allow determinism latency measurement only, never feeds back into control flow
+}
+
 // promote switches the standby to master and redoes unfinished events (§6:
 // "the hot standby detects this and immediately checks the event logs and
-// redo unfinished events").
-func (p *Pair) promote() {
+// redo unfinished events"). When NewReplica is set the promoted standby
+// first rebuilds application state from checkpoint + delta; redone entries
+// are then committed through the store so the adopted replica sees them.
+// Reports whether this call performed the promotion (false if the standby
+// was already master or missing — promote is idempotent under the
+// heartbeat-check vs PromoteNow race).
+func (p *Pair) promote() bool {
+	start := wallClock()
 	p.mu.Lock()
 	s := p.standby
 	if s == nil {
 		p.mu.Unlock()
-		return
+		return false
 	}
 	s.mu.Lock()
+	if s.role != RoleStandby || !s.alive {
+		s.mu.Unlock()
+		p.mu.Unlock()
+		return false
+	}
 	s.role = RoleMaster
 	redo := s.redo
 	s.mu.Unlock()
 	p.Failovers++
+	newReplica := p.NewReplica
+	onPromote := p.OnPromote
 	p.mu.Unlock()
 
+	stats := PromotionStats{Converged: true}
+	if newReplica != nil {
+		sm := newReplica()
+		stats.Rebuild = p.Store.Rebuild(sm)
+		stats.Converged = p.Store.AdoptReplica(sm)
+	}
 	for _, entry := range p.Store.Log.Unfinished() {
+		var err error
 		if redo != nil {
-			redo(entry)
+			err = redo(entry)
 		}
-		p.Store.Log.MarkDone(entry.ID)
+		p.Store.Commit(entry.ID, err)
 		s.mu.Lock()
 		s.processed++
 		s.mu.Unlock()
+		stats.Redone++
 	}
+	stats.Latency = wallClock().Sub(start)
+	mPromotions.Inc()
+	mPromotionLatency.Observe(stats.Latency)
+	mRedoneEntries.Add(int64(stats.Redone))
+	mReplayedEntries.Add(int64(stats.Rebuild.Replayed))
+
+	p.mu.Lock()
+	p.lastPromotion = stats
+	p.mu.Unlock()
+	if onPromote != nil {
+		onPromote(stats)
+	}
+	return true
+}
+
+// LastPromotion returns the measured stats of the most recent promotion
+// (zero value before any failover).
+func (p *Pair) LastPromotion() PromotionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastPromotion
 }
 
 // MasterCount reports how many live instances currently claim mastership —

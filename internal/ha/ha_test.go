@@ -8,7 +8,7 @@ import (
 	"repro/internal/simnet"
 )
 
-func newPair(redo func(nib.LogEntry)) (*simnet.Sim, *Pair) {
+func newPair(redo func(nib.LogEntry) error) (*simnet.Sim, *Pair) {
 	sim := simnet.New()
 	store := NewSharedStore()
 	return sim, NewPair(sim, store, "C1-master", "C1-standby", redo)
@@ -17,7 +17,7 @@ func newPair(redo func(nib.LogEntry)) (*simnet.Sim, *Pair) {
 func TestNormalOperation(t *testing.T) {
 	sim, p := newPair(nil)
 	processed := 0
-	if err := p.HandleEvent("bearer", "req1", func() { processed++ }); err != nil {
+	if err := p.HandleEvent("bearer", "req1", func() error { processed++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if processed != 1 {
@@ -40,7 +40,7 @@ func TestNormalOperation(t *testing.T) {
 
 func TestFailoverPromotesStandby(t *testing.T) {
 	var redone []nib.LogEntry
-	sim, p := newPair(func(e nib.LogEntry) { redone = append(redone, e) })
+	sim, p := newPair(func(e nib.LogEntry) error { redone = append(redone, e); return nil })
 
 	// master logs an event but crashes before finishing it
 	p.LogOnly("handover", "ho-42")
@@ -70,8 +70,8 @@ func TestFailoverPromotesStandby(t *testing.T) {
 
 func TestFailoverPreservesCompletedWork(t *testing.T) {
 	var redone []nib.LogEntry
-	sim, p := newPair(func(e nib.LogEntry) { redone = append(redone, e) })
-	p.HandleEvent("bearer", "done-1", func() {})
+	sim, p := newPair(func(e nib.LogEntry) error { redone = append(redone, e); return nil })
+	p.HandleEvent("bearer", "done-1", func() error { return nil })
 	p.LogOnly("bearer", "pending-1")
 	p.LogOnly("bearer", "pending-2")
 	p.KillMaster()
@@ -90,7 +90,7 @@ func TestNewMasterServesEvents(t *testing.T) {
 	p.KillMaster()
 	sim.RunUntil(2 * time.Second)
 	count := 0
-	if err := p.HandleEvent("bearer", "x", func() { count++ }); err != nil {
+	if err := p.HandleEvent("bearer", "x", func() error { count++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if count != 1 {
@@ -110,7 +110,7 @@ func TestNoMasterErrors(t *testing.T) {
 	s.alive = false
 	s.mu.Unlock()
 	sim.RunUntil(2 * time.Second)
-	if err := p.HandleEvent("x", nil, func() {}); err == nil {
+	if err := p.HandleEvent("x", nil, func() error { return nil }); err == nil {
 		t.Fatal("expected error with no live master")
 	}
 	if p.MasterCount() != 0 {

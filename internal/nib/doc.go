@@ -1,0 +1,28 @@
+// Package nib implements the SoftMoW network information base (§4): the
+// per-controller store of devices, links and their metrics, with change
+// subscriptions (used by the management plane, §5.3.2) and a durable event
+// log consumed by the hot-standby failover protocol (§6).
+//
+// Each controller's NIB holds only that controller's own view — physical
+// topology at leaves, logical topology above — never global state.
+//
+// # Event log lifecycle
+//
+// EventLog is the write-ahead log behind §6 failover. An entry moves
+// through three states:
+//
+//	Append        → logged, unfinished (a crash here redoes the entry)
+//	MarkOutcome   → finished: done, or failed (the op itself errored)
+//	TruncateThrough → dropped, once a checkpoint covers it
+//
+// The log maintains a low-water mark: the oldest unfinished entry's ID
+// (or NextID when fully drained). Finishing entries out of order holds
+// the mark at the oldest straggler, so everything below the mark is
+// guaranteed finished. The HA layer (internal/ha) captures its replica
+// checkpoints at the mark and then truncates the finished prefix:
+// promotion replays only the checkpoint's delta, keeping recovery
+// O(delta) instead of O(history) and the retained log bounded by the
+// snapshot cadence. Unfinished entries are never truncated, no matter
+// how far the cut advances — they are exactly the work a promoted
+// standby must redo.
+package nib

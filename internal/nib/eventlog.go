@@ -9,13 +9,20 @@ import (
 // and then processes it. When the master fails, the hot standby ... checks
 // the event logs and redoes unfinished events."
 //
-// Entries move through logged → done; a standby replays all logged-but-not-
-// done entries on promotion.
+// Entries move through logged → finished (done or failed); a standby
+// replays all logged-but-not-finished entries on promotion. The log also
+// serves as the delta source for incremental snapshots (ha.SharedStore):
+// a checkpoint records the log's low-water mark, after which everything
+// below it can be truncated — promotion then replays snapshot + delta
+// instead of the full history.
 type EventLog struct {
 	mu      sync.Mutex
 	entries map[uint64]*LogEntry
 	order   []uint64
 	nextID  uint64
+	// lwm is the low-water mark: every entry with ID < lwm is finished
+	// (done, failed, or already truncated). Guarded by mu.
+	lwm uint64
 }
 
 // LogEntry is one logged control-plane event.
@@ -25,6 +32,9 @@ type LogEntry struct {
 	// Payload carries whatever the application needs to redo the event.
 	Payload interface{}
 	Done    bool
+	// Failed marks a finished entry whose processing returned an error;
+	// replicas replaying the log skip failed entries (they had no effect).
+	Failed bool
 }
 
 // NewEventLog returns an empty log.
@@ -32,8 +42,8 @@ func NewEventLog() *EventLog {
 	return &EventLog{entries: make(map[uint64]*LogEntry)}
 }
 
-// Append records an event arrival and returns its ID. Call MarkDone once
-// the event has been fully processed.
+// Append records an event arrival and returns its ID. Call MarkDone (or
+// MarkOutcome) once the event has been fully processed.
 func (l *EventLog) Append(kind string, payload interface{}) uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -44,17 +54,64 @@ func (l *EventLog) Append(kind string, payload interface{}) uint64 {
 	return id
 }
 
-// MarkDone marks an entry processed. Unknown IDs are ignored.
+// MarkDone marks an entry successfully processed. Unknown IDs are ignored.
 func (l *EventLog) MarkDone(id uint64) {
+	l.MarkOutcome(id, false)
+}
+
+// MarkOutcome finishes an entry with its processing outcome and advances
+// the low-water mark past every finished prefix entry. Unknown IDs are
+// ignored.
+func (l *EventLog) MarkOutcome(id uint64, failed bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if e, ok := l.entries[id]; ok {
-		e.Done = true
+	e, ok := l.entries[id]
+	if !ok {
+		return
+	}
+	e.Done = true
+	e.Failed = failed
+	for l.lwm < l.nextID {
+		p, ok := l.entries[l.lwm]
+		if ok && !p.Done {
+			break
+		}
+		// Missing entries were truncated or compacted, which requires
+		// them to have been finished.
+		l.lwm++
 	}
 }
 
-// Unfinished returns copies of all logged-but-not-done entries in arrival
-// order — exactly what a promoted standby must redo.
+// LowWaterMark returns the lowest ID not yet finished: every entry with a
+// smaller ID is done or failed. A checkpoint taken at mark m plus the
+// entries from m onward reconstruct the full history.
+func (l *EventLog) LowWaterMark() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lwm
+}
+
+// NextID returns the ID the next Append will assign — the total number of
+// entries ever logged.
+func (l *EventLog) NextID() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextID
+}
+
+// Entry returns a copy of one entry by ID.
+func (l *EventLog) Entry(id uint64) (LogEntry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[id]
+	if !ok {
+		return LogEntry{}, false
+	}
+	return *e, true
+}
+
+// Unfinished returns copies of all logged-but-not-finished entries in
+// arrival order — exactly what a promoted standby must redo.
 func (l *EventLog) Unfinished() []LogEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -67,14 +124,63 @@ func (l *EventLog) Unfinished() []LogEntry {
 	return out
 }
 
-// Len reports the total number of logged entries.
+// EntriesSince returns copies of the retained entries with ID ≥ from, in
+// arrival order — the delta a standby replays on top of a checkpoint taken
+// at low-water mark `from`.
+func (l *EventLog) EntriesSince(from uint64) []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []LogEntry
+	for _, id := range l.order {
+		if id < from {
+			continue
+		}
+		if e := l.entries[id]; e != nil {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// Entries returns copies of every retained entry in arrival order (the
+// replay-from-genesis source; after truncation "genesis" is the oldest
+// retained entry).
+func (l *EventLog) Entries() []LogEntry {
+	return l.EntriesSince(0)
+}
+
+// Len reports the number of retained entries.
 func (l *EventLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.entries)
 }
 
-// Compact drops completed entries, bounding memory on long runs.
+// TruncateThrough drops every finished entry with ID < upto, returning how
+// many were removed. Unfinished entries are always retained regardless of
+// position — promotion redo must still see them — so callers pass the
+// low-water mark recorded in a committed checkpoint.
+func (l *EventLog) TruncateThrough(upto uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	kept := l.order[:0]
+	for _, id := range l.order {
+		e := l.entries[id]
+		if e != nil && id < upto && e.Done {
+			delete(l.entries, id)
+			removed++
+			continue
+		}
+		kept = append(kept, id)
+	}
+	l.order = kept
+	return removed
+}
+
+// Compact drops all finished entries, bounding memory on long runs that do
+// not checkpoint. Snapshot-driven truncation (TruncateThrough) is the
+// bounded-recovery variant: it keeps the delta above the checkpoint.
 func (l *EventLog) Compact() {
 	l.mu.Lock()
 	defer l.mu.Unlock()

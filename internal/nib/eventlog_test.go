@@ -1,0 +1,117 @@
+package nib
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestEventLogLowWaterMarkAdvances(t *testing.T) {
+	l := NewEventLog()
+	a := l.Append("op", 1)
+	b := l.Append("op", 2)
+	c := l.Append("op", 3)
+	if lwm := l.LowWaterMark(); lwm != a {
+		t.Fatalf("lwm = %d before any outcome, want %d", lwm, a)
+	}
+	// Finishing out of order must not advance past the oldest unfinished.
+	l.MarkOutcome(b, false)
+	if lwm := l.LowWaterMark(); lwm != a {
+		t.Fatalf("lwm = %d with %d still open, want %d", lwm, a, a)
+	}
+	// A failed outcome still finishes the entry for watermark purposes.
+	l.MarkOutcome(a, true)
+	if lwm := l.LowWaterMark(); lwm != c {
+		t.Fatalf("lwm = %d after finishing %d and %d, want %d", lwm, a, b, c)
+	}
+	l.MarkOutcome(c, false)
+	if lwm, next := l.LowWaterMark(), l.NextID(); lwm != next {
+		t.Fatalf("fully drained log: lwm %d != next id %d", lwm, next)
+	}
+}
+
+func TestEventLogTruncateKeepsUnfinished(t *testing.T) {
+	l := NewEventLog()
+	var ids []uint64
+	for i := 0; i < 10; i++ {
+		ids = append(ids, l.Append("op", i))
+	}
+	for _, id := range ids[:8] {
+		if id != ids[3] { // leave one straggler open below the cut
+			l.MarkOutcome(id, false)
+		}
+	}
+	removed := l.TruncateThrough(ids[8])
+	if removed != 7 {
+		t.Fatalf("removed %d finished entries, want 7", removed)
+	}
+	if _, ok := l.Entry(ids[3]); !ok {
+		t.Fatal("truncation dropped an unfinished entry")
+	}
+	if _, ok := l.Entry(ids[2]); ok {
+		t.Fatal("truncation kept a finished entry below the cut")
+	}
+	if got := l.Len(); got != 3 {
+		t.Fatalf("len = %d after truncation, want 3 (one open + two above cut)", got)
+	}
+	// The below-cut survivor still leads the Unfinished scan, ahead of
+	// the two entries above the cut that never finished.
+	unf := l.Unfinished()
+	if len(unf) != 3 || unf[0].ID != ids[3] {
+		t.Fatalf("unfinished = %+v, want entry %d first of 3", unf, ids[3])
+	}
+}
+
+func TestEventLogEntriesSince(t *testing.T) {
+	l := NewEventLog()
+	var ids []uint64
+	for i := 0; i < 6; i++ {
+		ids = append(ids, l.Append("op", i))
+	}
+	got := l.EntriesSince(ids[3])
+	if len(got) != 3 {
+		t.Fatalf("EntriesSince(%d) returned %d entries, want 3", ids[3], len(got))
+	}
+	for i, e := range got {
+		if e.ID != ids[3+i] {
+			t.Fatalf("delta entry %d has ID %d, want %d (order must be append order)", i, e.ID, ids[3+i])
+		}
+	}
+	if all := l.EntriesSince(0); len(all) != 6 {
+		t.Fatalf("EntriesSince(0) returned %d entries, want the full log", len(all))
+	}
+}
+
+// TestEventLogConcurrentAppendTruncate stress-drives the append → finish →
+// truncate pipeline from many goroutines under -race: the low-water mark
+// must stay monotonic and truncation must never drop an unfinished entry.
+func TestEventLogConcurrentAppendTruncate(t *testing.T) {
+	l := NewEventLog()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := l.Append("op", fmt.Sprintf("w%d-%d", w, i))
+				l.MarkOutcome(id, i%7 == 0)
+				if i%13 == 0 {
+					l.TruncateThrough(l.LowWaterMark())
+				}
+				if i%31 == 0 {
+					_ = l.Unfinished()
+					_ = l.EntriesSince(l.LowWaterMark())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lwm, next := l.LowWaterMark(), l.NextID(); lwm != next {
+		t.Fatalf("all entries finished but lwm %d != next %d", lwm, next)
+	}
+	l.TruncateThrough(l.LowWaterMark())
+	if n := l.Len(); n != 0 {
+		t.Fatalf("%d finished entries survived final truncation", n)
+	}
+}

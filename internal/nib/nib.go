@@ -1,10 +1,3 @@
-// Package nib implements the SoftMoW network information base (§4): the
-// per-controller store of devices, links and their metrics, with change
-// subscriptions (used by the management plane, §5.3.2) and a durable event
-// log consumed by the hot-standby failover protocol (§6).
-//
-// Each controller's NIB holds only that controller's own view — physical
-// topology at leaves, logical topology above — never global state.
 package nib
 
 import (

@@ -154,7 +154,22 @@ type Engine struct {
 	// tokens is the open-loop in-flight window: buffered to MaxInFlight,
 	// one send per admission, one receive per completion.
 	tokens chan struct{}
+	// wrap, when set, intercepts every op execution (SetExecWrapper).
+	wrap ExecWrapper
 }
+
+// ExecWrapper intercepts one op execution: it receives the op and a next
+// function that performs the real dispatch, and returns the op's outcome.
+// The failover driver uses it to route every op through the HA write-ahead
+// log and to hold ops hostage across a planned master crash. A wrapper
+// must call next at most once and must preserve per-UE completion order
+// (an op's wrapper invocation only returns once the op's effects are
+// visible), or the replayable state digest breaks.
+type ExecWrapper func(op Op, next func() error) error
+
+// SetExecWrapper installs the exec interceptor. Call before Run; the
+// engine does not synchronize wrapper replacement with in-flight ops.
+func (e *Engine) SetExecWrapper(w ExecWrapper) { e.wrap = w }
 
 type opError struct {
 	op  Op
@@ -368,7 +383,12 @@ func (e *Engine) runOpen(ops []Op) {
 // execTimed runs one op and records its latency and outcome.
 func (e *Engine) execTimed(op Op) {
 	t0 := wallClock()
-	err := e.exec(op)
+	var err error
+	if e.wrap != nil {
+		err = e.wrap(op, func() error { return e.exec(op) })
+	} else {
+		err = e.exec(op)
+	}
 	e.hists[op.Kind].Observe(wallClock().Sub(t0))
 	if err != nil {
 		e.fails[op.Kind].Add(1)

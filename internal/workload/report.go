@@ -123,6 +123,7 @@ type Report struct {
 	FinalUEs     int                 `json:"final_ues"`
 	Baseline     *BaselineComparison `json:"baseline,omitempty"`
 	Distributed  *DistributedStats   `json:"distributed,omitempty"`
+	Failover     *FailoverSection    `json:"failover,omitempty"`
 }
 
 // RegionProcStats is one region process's contribution to a distributed
