@@ -23,10 +23,13 @@ chaos:
 docs-check:
 	$(GO) run ./cmd/docscheck internal
 
-# Enforce the lock, determinism, layering, and error-handling invariants
-# over ./internal/... and ./cmd/... (see DESIGN.md "Enforced invariants").
+# Enforce the lock, determinism, layering, error-handling, wire-parity,
+# goroutine-lifecycle, metric-name, and stale-suppression invariants over
+# ./internal/... and ./cmd/... (see DESIGN.md "Enforced invariants").
+# Prints per-analyzer finding counts and wall time, and writes the table
+# plus every finding to lint-report.txt (uploaded as a CI artifact).
 lint:
-	$(GO) run ./cmd/softmowlint
+	$(GO) run ./cmd/softmowlint -stats -report lint-report.txt
 
 # Fuzz the southbound binary frame decoder (seed corpus committed under
 # internal/southbound/testdata/fuzz). CI runs the same invocation; raise

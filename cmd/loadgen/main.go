@@ -307,6 +307,7 @@ func run(cfg workload.Config) (*workload.Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.Close()
 	res := eng.Run()
 	rep := workload.BuildReport(cfg, cl, res)
 	if res.FirstErr != nil {
@@ -324,10 +325,11 @@ func comparePass(cfg workload.Config, shards int) (float64, error) {
 	cfg.Mix = workload.BearerHeavyMix()
 	cfg.BSWeights = nil
 	cfg.RatePerSec = 0
-	eng, _, err := workload.NewEngine(cfg)
+	eng, cl, err := workload.NewEngine(cfg)
 	if err != nil {
 		return 0, err
 	}
+	defer cl.Close()
 	res := eng.Run()
 	if res.FirstErr != nil {
 		return 0, res.FirstErr

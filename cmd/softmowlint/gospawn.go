@@ -1,0 +1,142 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// gospawn enforces goroutine-lifecycle tracking under internal/: every go
+// statement must spawn a body the analyzer can see terminating into a
+// tracked lifecycle — a sync.WaitGroup Done, a receive from a signal
+// (struct{}) channel such as a done/stop/wake select, a range over a work
+// channel, or a close() announcing completion to a waiter (the
+// northbound.startMods in-flight idiom). Spawns of function values or
+// cross-package callees cannot be body-inspected and must carry a
+// //softmow:allow gospawn annotation stating why the goroutine's lifetime
+// is bounded. Leaked goroutines only surface under the million-UE
+// workloads the ROADMAP targets; this makes them a build failure instead.
+func gospawn(p *Package) []Finding {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if fn := calleeFunc(p, g.Call); fn != nil {
+				if fd, ok := decls[fn]; ok {
+					body = fd.Body
+				}
+			}
+			var why string
+			switch {
+			case body == nil:
+				why = "spawns a function value or cross-package callee the analyzer cannot inspect"
+			case !lifecycleTracked(p, body):
+				why = "has no tracked lifecycle (no WaitGroup Done, done/stop channel receive, channel range, or completion close)"
+			default:
+				return true
+			}
+			out = append(out, Finding{Pos: p.Fset.Position(g.Pos()), Check: "gospawn",
+				Message: "goroutine " + why +
+					"; tie it to a WaitGroup or done channel, or annotate //softmow:allow gospawn <reason>"})
+			return true
+		})
+	}
+	return out
+}
+
+// lifecycleTracked reports whether a goroutine body contains a completion
+// or termination signal the repo's teardown paths can wait on.
+func lifecycleTracked(p *Package, body *ast.BlockStmt) bool {
+	tracked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tracked {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				// close(ch): the body announces completion to a waiter.
+				if fun.Name == "close" && len(n.Args) == 1 && isChan(p.Info.Types[n.Args[0]].Type) {
+					tracked = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" && isWaitGroupMethod(p, fun) {
+					tracked = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// A receive from a struct{} channel is a done/stop/wake signal;
+			// receives of data channels (timer.C, result channels) are not
+			// termination evidence and deliberately do not count.
+			if n.Op == token.ARROW && isSignalChan(p.Info.Types[n.X].Type) {
+				tracked = true
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when the producer closes it.
+			if isChan(p.Info.Types[n.X].Type) {
+				tracked = true
+			}
+		}
+		return !tracked
+	})
+	return tracked
+}
+
+// isWaitGroupMethod reports whether sel resolves to a method of
+// sync.WaitGroup.
+func isWaitGroupMethod(p *Package, sel *ast.SelectorExpr) bool {
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil &&
+		named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup"
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isSignalChan reports whether t is a channel of empty structs — the
+// repo's convention for pure-signal (done/stop/wake) channels.
+func isSignalChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -23,24 +23,52 @@ var checkNames = map[string]bool{
 	"determinism": true,
 	"layering":    true,
 	"errdiscard":  true,
+	"wireparity":  true,
+	"gospawn":     true,
+	"metricname":  true,
+	"staleallow":  true,
 }
 
-// suppressions maps source line → set of checks allowed on that line, per
-// file. An annotation suppresses findings on its own line and the line
+// checkNameList returns the valid check names, sorted, for diagnostics.
+func checkNameList() string {
+	names := make([]string, 0, len(checkNames))
+	for n := range checkNames {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// annotation is one well-formed //softmow:allow comment. used records
+// whether the annotation suppressed at least one finding this run — the
+// staleallow analyzer reports the ones that never fire.
+type annotation struct {
+	pos   token.Position
+	check string
+	used  bool
+}
+
+// suppressions indexes a package's annotations by the source lines they
+// cover. An annotation suppresses findings on its own line and the line
 // below it, so both trailing and standalone comment placement work:
 //
 //	x := f() //softmow:allow errdiscard best-effort notice
 //
 //	//softmow:allow errdiscard best-effort notice
 //	x := f()
-type suppressions map[string]map[int]map[string]bool
+type suppressions struct {
+	// byLine maps filename → covered line → annotations covering it.
+	byLine map[string]map[int][]*annotation
+	// list holds every annotation once, in collection order.
+	list []*annotation
+}
 
 // collectSuppressions parses //softmow:allow annotations from every file of
 // the package. Malformed annotations (unknown check, missing reason) are
 // themselves findings — a suppression without a stated reason defeats the
 // point of the annotation.
-func collectSuppressions(p *Package) (suppressions, []Finding) {
-	sup := make(suppressions)
+func collectSuppressions(p *Package) (*suppressions, []Finding) {
+	sup := &suppressions{byLine: make(map[string]map[int][]*annotation)}
 	var bad []Finding
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -54,23 +82,22 @@ func collectSuppressions(p *Package) (suppressions, []Finding) {
 				switch {
 				case len(fields) == 0 || !checkNames[fields[0]]:
 					bad = append(bad, Finding{Pos: pos, Check: "suppression",
-						Message: "softmow:allow must name a check (lockguard, determinism, layering, errdiscard)"})
+						Message: "softmow:allow must name a check (" + checkNameList() + ")"})
 					continue
 				case len(fields) < 2:
 					bad = append(bad, Finding{Pos: pos, Check: "suppression",
 						Message: "softmow:allow " + fields[0] + " needs a reason"})
 					continue
 				}
-				byLine := sup[pos.Filename]
+				a := &annotation{pos: pos, check: fields[0]}
+				sup.list = append(sup.list, a)
+				byLine := sup.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
+					byLine = make(map[int][]*annotation)
+					sup.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = make(map[string]bool)
-					}
-					byLine[line][fields[0]] = true
+					byLine[line] = append(byLine[line], a)
 				}
 			}
 		}
@@ -78,19 +105,67 @@ func collectSuppressions(p *Package) (suppressions, []Finding) {
 	return sup, bad
 }
 
-// allowed reports whether a finding at pos is covered by an annotation.
-func (s suppressions) allowed(check string, pos token.Position) bool {
-	return s[pos.Filename][pos.Line][check]
+// allowed reports whether a finding at pos is covered by an annotation,
+// marking every matching annotation as used.
+func (s *suppressions) allowed(check string, pos token.Position) bool {
+	hit := false
+	for _, a := range s.byLine[pos.Filename][pos.Line] {
+		if a.check == check {
+			a.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // filterSuppressed drops findings covered by //softmow:allow annotations
-// and appends findings for malformed annotations.
+// and appends findings for malformed annotations. Per-analyzer fixture
+// tests use it directly; the production configuration goes through
+// applySuppressions so unused annotations are reported too.
 func filterSuppressed(p *Package, findings []Finding) []Finding {
+	out, _ := suppressAndMark(p, findings)
+	return out
+}
+
+// suppressAndMark filters findings through the package's annotations and
+// returns the survivors (malformed-annotation findings prepended) along
+// with the annotation index, whose used flags now reflect this finding
+// set.
+func suppressAndMark(p *Package, findings []Finding) ([]Finding, *suppressions) {
 	sup, bad := collectSuppressions(p)
 	out := bad
 	for _, f := range findings {
 		if !sup.allowed(f.Check, f.Pos) {
 			out = append(out, f)
+		}
+	}
+	return out, sup
+}
+
+// applySuppressions is the production filter: findings covered by
+// annotations are dropped, malformed annotations are findings, and — the
+// staleallow check — so is every well-formed annotation that suppressed
+// nothing, because a dead //softmow:allow re-arms silently the next time
+// the code regresses. Annotations naming staleallow itself are judged in a
+// second phase against the stale findings, so a deliberately kept
+// suppression can be excused like any other finding.
+func applySuppressions(p *Package, findings []Finding) []Finding {
+	out, sup := suppressAndMark(p, findings)
+	staleMsg := func(check string) string {
+		return "softmow:allow " + check + " suppresses nothing; remove the stale annotation"
+	}
+	for _, a := range sup.list {
+		if a.used || a.check == "staleallow" {
+			continue
+		}
+		f := Finding{Pos: a.pos, Check: "staleallow", Message: staleMsg(a.check)}
+		if !sup.allowed(f.Check, f.Pos) {
+			out = append(out, f)
+		}
+	}
+	for _, a := range sup.list {
+		if a.check == "staleallow" && !a.used {
+			out = append(out, Finding{Pos: a.pos, Check: "staleallow", Message: staleMsg(a.check)})
 		}
 	}
 	return out

@@ -149,6 +149,75 @@ func TestErrdiscard(t *testing.T) {
 	checkFixture(t, good, filterSuppressed(good, errdiscard(good, "repro/")))
 }
 
+func TestWireparity(t *testing.T) {
+	cfg := wireparityConfig{
+		EnumType:      "MsgType",
+		ConstPrefix:   "Type",
+		EncodeFunc:    "appendBody",
+		DecodeFunc:    "decodeBody",
+		CorpusDir:     "testdata/fuzz/FuzzFrameDecode",
+		TypeByteIndex: 1,
+	}
+
+	bad := fixture(t, "wirebad")
+	cfg.PkgPath = bad.Path
+	checkFixture(t, bad, filterSuppressed(bad, wireparity(bad, cfg)))
+
+	good := fixture(t, "wiregood")
+	cfg.PkgPath = good.Path
+	checkFixture(t, good, filterSuppressed(good, wireparity(good, cfg)))
+
+	// The production config must not fire on fixture packages at all.
+	if fs := wireparity(bad, southboundWireparity); len(fs) != 0 {
+		t.Errorf("production wireparity config fired on a fixture package: %v", fs)
+	}
+}
+
+func TestGospawn(t *testing.T) {
+	bad := fixture(t, "spawnbad")
+	checkFixture(t, bad, filterSuppressed(bad, gospawn(bad)))
+
+	good := fixture(t, "spawngood")
+	checkFixture(t, good, filterSuppressed(good, gospawn(good)))
+}
+
+func TestMetricname(t *testing.T) {
+	bad := fixture(t, "metbad")
+	registry := map[string]map[string]bool{
+		bad.Path: {"metbad.requests": true, "metbad.dead_entry": true},
+	}
+	checkFixture(t, bad, filterSuppressed(bad, metricname(bad, registry, metricsPkgPath)))
+
+	good := fixture(t, "metgood")
+	registry = map[string]map[string]bool{
+		good.Path: {"metgood.requests": true, "metgood.latency": true},
+	}
+	checkFixture(t, good, filterSuppressed(good, metricname(good, registry, metricsPkgPath)))
+
+	// A package minting metrics with no registry entry at all is flagged at
+	// each literal-name constructor call.
+	noEntry := 0
+	for _, f := range metricname(bad, map[string]map[string]bool{}, metricsPkgPath) {
+		if strings.Contains(f.Message, "no metric-name registry entry") {
+			noEntry++
+		}
+	}
+	if noEntry != 2 {
+		t.Errorf("want 2 no-registry-entry findings, got %d", noEntry)
+	}
+}
+
+// TestStaleallow runs the full production suppression pipeline: used
+// annotations vanish, dead ones become staleallow findings, and a
+// staleallow annotation can excuse a deliberately kept dead annotation.
+func TestStaleallow(t *testing.T) {
+	bad := fixture(t, "stalebad")
+	checkFixture(t, bad, applySuppressions(bad, errdiscard(bad, "repro/")))
+
+	good := fixture(t, "stalegood")
+	checkFixture(t, good, applySuppressions(good, errdiscard(good, "repro/")))
+}
+
 // TestSuppressionDiagnostics checks that malformed annotations are findings
 // themselves and register no suppression: the unknown-check and
 // missing-reason sites each yield one "suppression" finding, and the error
@@ -189,7 +258,7 @@ func TestRepoClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("load %s: %v", ip, err)
 		}
-		for _, f := range runConfigured(p) {
+		for _, f := range runConfigured(p, nil) {
 			t.Errorf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
 		}
 	}

@@ -1,7 +1,7 @@
 // Command softmowlint enforces the repository's cross-cutting invariants as
 // compile-gated static analysis, using only the standard library (go/parser,
 // go/ast, go/types with a recursive source loader — the stdlib-only
-// precedent set by cmd/docscheck). Four analyzers run over ./internal/...
+// precedent set by cmd/docscheck). Eight analyzers run over ./internal/...
 // and ./cmd/...:
 //
 //   - lockguard: struct fields annotated `// guarded by <mutexField>` may
@@ -16,26 +16,45 @@
 //     rule programming stays behind the batched, rollback-safe pipeline.
 //   - errdiscard: no `_ =` or bare-statement discard of an error under
 //     internal/ without an annotation stating why.
+//   - wireparity: every southbound.MsgType constant must have an appendBody
+//     encode case, a decodeBody decode case, a committed FuzzFrameDecode
+//     corpus seed, and a reference in the package tests — codec coverage
+//     cannot drift from the message set.
+//   - gospawn: every go statement under internal/ must spawn a body tied to
+//     a tracked lifecycle (WaitGroup Done, done/stop signal-channel receive,
+//     channel range, or completion close), or carry an annotation saying
+//     why fire-and-forget is safe.
+//   - metricname: metrics counter/histogram names must be string literals
+//     drawn from the per-package registry of known names, and every
+//     registered name must be minted — a typo creates a silent new counter
+//     and the dashboards lie.
+//   - staleallow: a //softmow:allow annotation that no longer suppresses
+//     any finding is itself a finding, keeping the suppression inventory
+//     honest as code moves.
 //
 // Findings are suppressed in source with `//softmow:allow <check> <reason>`
 // on the offending line or the line above; the reason is mandatory.
 //
 // Usage:
 //
-//	go run ./cmd/softmowlint [packages...]
+//	go run ./cmd/softmowlint [-stats] [-report file] [packages...]
 //
 // With no arguments every package under internal/ and cmd/ is checked
-// (testdata trees excluded). Exit status is 1 when any unsuppressed finding
-// is reported and 2 when a package fails to load or type-check.
+// (testdata trees excluded). -stats prints per-analyzer finding counts and
+// wall time; -report writes the same table (plus every finding) to a file
+// for CI artifacts. Exit status is 1 when any unsuppressed finding is
+// reported and 2 when a package fails to load or type-check.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // determinismPkgs lists the seed-replay-critical packages: everything the
@@ -44,7 +63,9 @@ import (
 // plus the NIB, whose accessor and notification order reaches the replay
 // log, the workload engine, whose schedule and state digests must be
 // pure functions of (seed, config), and the HA snapshot/promotion layer,
-// whose checkpoint and redo order the failover smoke replays byte-for-byte.
+// whose checkpoint and redo order the failover smoke replays byte-for-byte,
+// and the northbound wire link, whose message and interdomain push order
+// the distributed replay-digest comparison depends on.
 var determinismPkgs = map[string]bool{
 	"repro/internal/core":       true,
 	"repro/internal/chaos":      true,
@@ -53,21 +74,80 @@ var determinismPkgs = map[string]bool{
 	"repro/internal/nib":        true,
 	"repro/internal/workload":   true,
 	"repro/internal/ha":         true,
+	"repro/internal/northbound": true,
+}
+
+// analyzerNames lists every analyzer in run order, for the stats table.
+var analyzerNames = []string{
+	"lockguard", "determinism", "layering", "errdiscard",
+	"wireparity", "gospawn", "metricname", "staleallow",
+}
+
+// lintStats accumulates per-analyzer finding counts and wall time across a
+// run; nil disables collection.
+type lintStats struct {
+	findings map[string]int
+	elapsed  map[string]time.Duration
+	packages int
+}
+
+func newLintStats() *lintStats {
+	return &lintStats{findings: make(map[string]int), elapsed: make(map[string]time.Duration)}
+}
+
+// table renders the per-analyzer summary the -stats flag and the CI
+// report artifact show.
+func (st *lintStats) table(total time.Duration) string {
+	var b strings.Builder
+	all := 0
+	for _, n := range st.findings {
+		all += n
+	}
+	fmt.Fprintf(&b, "softmowlint: %d analyzers, %d packages, %d finding(s), %v total\n",
+		len(analyzerNames), st.packages, all, total.Round(time.Millisecond))
+	names := append([]string(nil), analyzerNames...)
+	if st.findings["suppression"] > 0 {
+		names = append(names, "suppression")
+	}
+	for _, name := range names {
+		fmt.Fprintf(&b, "  %-12s %4d finding(s)  %8v\n",
+			name, st.findings[name], st.elapsed[name].Round(time.Millisecond))
+	}
+	return b.String()
 }
 
 // runConfigured executes every analyzer that applies to the package under
-// the production configuration and filters suppressed findings.
-func runConfigured(p *Package) []Finding {
+// the production configuration, filters suppressed findings, and reports
+// stale suppressions. st may be nil.
+func runConfigured(p *Package, st *lintStats) []Finding {
 	var fs []Finding
-	fs = append(fs, lockguard(p)...)
+	run := func(name string, f func() []Finding) {
+		start := time.Now()
+		fs = append(fs, f()...)
+		if st != nil {
+			st.elapsed[name] += time.Since(start)
+		}
+	}
+	run("lockguard", func() []Finding { return lockguard(p) })
 	if determinismPkgs[p.Path] {
-		fs = append(fs, determinism(p)...)
+		run("determinism", func() []Finding { return determinism(p) })
 	}
-	fs = append(fs, layering(p, coreLayering)...)
+	run("layering", func() []Finding { return layering(p, coreLayering) })
 	if strings.HasPrefix(p.Path, "repro/internal/") {
-		fs = append(fs, errdiscard(p, "repro/")...)
+		run("errdiscard", func() []Finding { return errdiscard(p, "repro/") })
+		run("gospawn", func() []Finding { return gospawn(p) })
 	}
-	return filterSuppressed(p, fs)
+	run("wireparity", func() []Finding { return wireparity(p, southboundWireparity) })
+	run("metricname", func() []Finding { return metricname(p, prodMetricRegistry, metricsPkgPath) })
+	var out []Finding
+	run("staleallow", func() []Finding { out = applySuppressions(p, fs); return nil })
+	if st != nil {
+		st.packages++
+		for _, f := range out {
+			st.findings[f.Check]++
+		}
+	}
+	return out
 }
 
 // listPackages enumerates package import paths under the given roots
@@ -113,12 +193,17 @@ func listPackages(repoRoot, module string, roots []string) ([]string, error) {
 }
 
 func main() {
+	stats := flag.Bool("stats", false, "print per-analyzer finding counts and wall time")
+	report := flag.String("report", "", "write findings and the per-analyzer table to this file")
+	flag.Parse()
+	start := time.Now()
+
 	repoRoot, module, err := findRepoRoot(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "softmowlint:", err)
 		os.Exit(2)
 	}
-	pkgs := os.Args[1:]
+	pkgs := flag.Args()
 	if len(pkgs) == 0 {
 		pkgs, err = listPackages(repoRoot, module, []string{"internal", "cmd"})
 		if err != nil {
@@ -128,6 +213,7 @@ func main() {
 	}
 
 	loader := NewLoader(repoRoot, module)
+	st := newLintStats()
 	loadFailed := false
 	var findings []Finding
 	for _, ip := range pkgs {
@@ -137,15 +223,26 @@ func main() {
 			loadFailed = true
 			continue
 		}
-		findings = append(findings, runConfigured(p)...)
+		findings = append(findings, runConfigured(p, st)...)
 	}
 	sortFindings(findings)
+	var lines strings.Builder
 	for _, f := range findings {
 		rel := f.Pos.Filename
 		if r, err := filepath.Rel(repoRoot, rel); err == nil {
 			rel = r
 		}
-		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+		fmt.Fprintf(&lines, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Check, f.Message)
+	}
+	fmt.Fprint(os.Stderr, lines.String())
+	table := st.table(time.Since(start))
+	if *stats {
+		fmt.Fprint(os.Stderr, table)
+	}
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(table+lines.String()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "softmowlint: write report:", err)
+		}
 	}
 	switch {
 	case loadFailed:

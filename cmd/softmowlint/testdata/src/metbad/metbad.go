@@ -1,0 +1,20 @@
+// Package metbad violates the metric-name registry contract: a typo'd
+// literal, a computed name, and a registered name that is never minted
+// (anchored at the package clause).
+package metbad // want metricname
+
+import "repro/internal/metrics"
+
+var (
+	requests = metrics.NewCounter("metbad.requests")
+	typo     = metrics.NewCounter("metbad.reqests") // want metricname
+)
+
+func computed(name string) *metrics.Counter {
+	return metrics.NewCounter(name) // want metricname
+}
+
+func annotatedComputed(name string) *metrics.Counter {
+	//softmow:allow metricname harness-assembled name, validated by the caller against the registry
+	return metrics.NewCounter(name)
+}

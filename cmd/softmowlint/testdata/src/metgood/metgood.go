@@ -1,0 +1,10 @@
+// Package metgood mints exactly its registered names, all as string
+// literals.
+package metgood
+
+import "repro/internal/metrics"
+
+var (
+	requests = metrics.NewCounter("metgood.requests")
+	latency  = metrics.NewDurationHist("metgood.latency")
+)

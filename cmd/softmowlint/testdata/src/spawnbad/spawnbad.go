@@ -1,0 +1,34 @@
+// Package spawnbad leaks goroutines: go statements whose bodies carry no
+// tracked lifecycle, and spawns the analyzer cannot inspect.
+package spawnbad
+
+import "sync"
+
+func work() {}
+
+func untrackedLit() {
+	go func() { // want gospawn
+		work()
+	}()
+}
+
+func untrackedCallee() {
+	go work() // want gospawn
+}
+
+func funcValue(f func()) {
+	go f() // want gospawn
+}
+
+func annotatedValue(f func()) {
+	//softmow:allow gospawn the callee's lifetime is bounded by the test that passes it in
+	go f()
+}
+
+func tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}

@@ -1,0 +1,52 @@
+// Package spawngood ties every goroutine to a tracked lifecycle: a
+// WaitGroup Done, a completion close, a signal-channel receive, a channel
+// range, or a tracked same-package callee.
+package spawngood
+
+import "sync"
+
+func work() {}
+
+func viaWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func viaClose(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work()
+	}()
+}
+
+func viaSignal(stop chan struct{}, wake chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-wake:
+				work()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func viaRange(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+func loop(done chan struct{}) {
+	<-done
+}
+
+func viaNamedCallee(done chan struct{}) {
+	go loop(done)
+}

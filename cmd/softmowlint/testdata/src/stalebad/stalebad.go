@@ -1,0 +1,25 @@
+// Package stalebad carries suppressions that no longer suppress
+// anything: a dead errdiscard annotation and a dead staleallow
+// annotation, alongside a live one that must not be flagged.
+package stalebad
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func live() {
+	_ = mayFail() //softmow:allow errdiscard the fixture only cares that this call happens
+}
+
+func dead() {
+	//softmow:allow errdiscard nothing below discards an error anymore // want staleallow
+	err := mayFail()
+	if err != nil {
+		return
+	}
+}
+
+func deadStale() {
+	//softmow:allow staleallow the annotation below is live, so this excuse is itself stale // want staleallow
+	_ = mayFail() //softmow:allow errdiscard the fixture only cares that this call happens
+}

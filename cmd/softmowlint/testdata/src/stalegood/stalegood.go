@@ -1,0 +1,21 @@
+// Package stalegood keeps its suppression inventory honest: the one
+// annotation that is dead by design is excused by a staleallow
+// annotation covering it.
+package stalegood
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func live() {
+	_ = mayFail() //softmow:allow errdiscard the fixture only cares that this call happens
+}
+
+func excused() {
+	//softmow:allow staleallow the discard below returns with the next fixture revision
+	//softmow:allow errdiscard kept for the next fixture revision
+	err := mayFail()
+	if err != nil {
+		return
+	}
+}

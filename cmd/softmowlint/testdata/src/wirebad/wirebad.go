@@ -1,0 +1,34 @@
+// Package wirebad violates wire-protocol parity: TypeB has no decode
+// case, and TypeC has no codec, corpus, or test coverage at all.
+package wirebad
+
+// MsgType is the fixture's wire message-type enum.
+type MsgType uint8
+
+// TypeA is fully covered; TypeB misses only the decode case; TypeC
+// misses everything; TypeD misses everything but is annotated.
+const (
+	TypeA MsgType = iota
+	TypeB // want wireparity
+	TypeC // want wireparity
+	//softmow:allow wireparity reserved type, its codec lands with the next protocol bump
+	TypeD
+)
+
+func appendBody(buf []byte, t MsgType) []byte {
+	switch t {
+	case TypeA:
+		return append(buf, 'a')
+	case TypeB:
+		return append(buf, 'b')
+	}
+	return buf
+}
+
+func decodeBody(t MsgType) bool {
+	switch t {
+	case TypeA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package wirebad
+
+import "testing"
+
+// TestRoundTrip references the covered constants the way the real codec's
+// round-trip suite enumerates the message set. TypeC is deliberately
+// absent.
+func TestRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{TypeA, TypeB} {
+		if got := appendBody(nil, typ); len(got) != 1 {
+			t.Fatalf("bad body for %d: %v", typ, got)
+		}
+	}
+}

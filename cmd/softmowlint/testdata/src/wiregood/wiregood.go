@@ -1,0 +1,31 @@
+// Package wiregood keeps wire-protocol parity: every enum constant has
+// an encode case, a decode case (via a combined clause), a corpus seed,
+// and a test reference.
+package wiregood
+
+// MsgType is the fixture's wire message-type enum.
+type MsgType uint8
+
+// TypeOne and TypeTwo are both fully covered.
+const (
+	TypeOne MsgType = iota
+	TypeTwo
+)
+
+func appendBody(buf []byte, t MsgType) []byte {
+	switch t {
+	case TypeOne:
+		return append(buf, 1)
+	case TypeTwo:
+		return append(buf, 2)
+	}
+	return buf
+}
+
+func decodeBody(t MsgType) bool {
+	switch t {
+	case TypeOne, TypeTwo:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package wiregood
+
+import "testing"
+
+// TestRoundTrip references every constant.
+func TestRoundTrip(t *testing.T) {
+	for _, typ := range []MsgType{TypeOne, TypeTwo} {
+		if !decodeBody(typ) {
+			t.Fatalf("decode failed for %d", typ)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// wireparityConfig scopes the wireparity analyzer to one codec package: the
+// enum whose constants are the wire contract, the hand-coded encode/decode
+// switches that must cover every constant, the committed fuzz corpus that
+// must seed every type byte, and the package tests that must reference
+// every constant (the round-trip suite enumerates them all).
+type wireparityConfig struct {
+	// PkgPath is the package defining the enum and the codec.
+	PkgPath string
+	// EnumType is the named type of the message-type enum (MsgType).
+	EnumType string
+	// ConstPrefix selects which of the enum's constants are enforced.
+	ConstPrefix string
+	// EncodeFunc and DecodeFunc name the codec switch functions; a
+	// constant is covered when it appears in a case clause anywhere in the
+	// function body (combined cases count for every listed constant).
+	EncodeFunc string
+	DecodeFunc string
+	// CorpusDir is the fuzz seed corpus directory, relative to the package
+	// directory.
+	CorpusDir string
+	// TypeByteIndex is the offset of the type byte within a corpus seed's
+	// payload (frame layout: version byte, then type byte).
+	TypeByteIndex int
+}
+
+// southboundWireparity is the production configuration: every Type*
+// constant of southbound.MsgType needs an appendBody case, a decodeBody
+// case, a committed FuzzFrameDecode seed, and a test reference — so the
+// PR 6/7 binary codec can never silently drift from the message set.
+var southboundWireparity = wireparityConfig{
+	PkgPath:       "repro/internal/southbound",
+	EnumType:      "MsgType",
+	ConstPrefix:   "Type",
+	EncodeFunc:    "appendBody",
+	DecodeFunc:    "decodeBody",
+	CorpusDir:     "testdata/fuzz/FuzzFrameDecode",
+	TypeByteIndex: 1,
+}
+
+// wireparity enforces wire-protocol parity: each enum constant either has
+// all four artifacts (encode case, decode case, corpus seed, test
+// reference) or yields one finding at its declaration listing what is
+// missing.
+func wireparity(p *Package, cfg wireparityConfig) []Finding {
+	if p.Path != cfg.PkgPath {
+		return nil
+	}
+	type enumConst struct {
+		name string
+		val  int64
+		pos  token.Position
+	}
+	var consts []enumConst
+	constNames := make(map[types.Object]string)
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, cfg.ConstPrefix) {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok || named.Obj().Name() != cfg.EnumType || named.Obj().Pkg() != p.Types {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			continue
+		}
+		consts = append(consts, enumConst{name: name, val: v, pos: p.Fset.Position(c.Pos())})
+		constNames[c] = name
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+
+	enc := switchCaseConsts(p, cfg.EncodeFunc, constNames)
+	dec := switchCaseConsts(p, cfg.DecodeFunc, constNames)
+	corpus := corpusTypeBytes(filepath.Join(p.Dir, filepath.FromSlash(cfg.CorpusDir)), cfg.TypeByteIndex)
+	testRefs := testFileIdents(p.Fset, p.Dir)
+
+	var out []Finding
+	for _, c := range consts {
+		var missing []string
+		if !enc[c.name] {
+			missing = append(missing, "no "+cfg.EncodeFunc+" case")
+		}
+		if !dec[c.name] {
+			missing = append(missing, "no "+cfg.DecodeFunc+" case")
+		}
+		if !corpus[c.val] {
+			missing = append(missing, "no fuzz corpus seed in "+cfg.CorpusDir)
+		}
+		if !testRefs[c.name] {
+			missing = append(missing, "no reference in the package tests")
+		}
+		if len(missing) > 0 {
+			out = append(out, Finding{Pos: c.pos, Check: "wireparity",
+				Message: c.name + ": " + strings.Join(missing, ", ") +
+					" — codec coverage must not drift from the message set"})
+		}
+	}
+	return out
+}
+
+// switchCaseConsts returns the names of the tracked constants referenced
+// in case clauses anywhere inside the named function's body.
+func switchCaseConsts(p *Package, fnName string, tracked map[types.Object]string) map[string]bool {
+	covered := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fnName || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				cc, ok := n.(*ast.CaseClause)
+				if !ok {
+					return true
+				}
+				for _, e := range cc.List {
+					var id *ast.Ident
+					switch e := ast.Unparen(e).(type) {
+					case *ast.Ident:
+						id = e
+					case *ast.SelectorExpr:
+						id = e.Sel
+					default:
+						continue
+					}
+					if name, ok := tracked[p.Info.Uses[id]]; ok {
+						covered[name] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return covered
+}
+
+// corpusTypeBytes parses every `go test fuzz v1` seed file in dir and
+// returns the set of type-byte values present among the seeds. Payloads
+// shorter than the type-byte offset contribute nothing; unreadable or
+// non-corpus files are skipped (a missing directory simply yields the
+// empty set, so every constant reports a missing seed).
+func corpusTypeBytes(dir string, idx int) map[int64]bool {
+	out := make(map[int64]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		lines := strings.Split(string(data), "\n")
+		if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+			continue
+		}
+		for _, line := range lines[1:] {
+			rest, ok := strings.CutPrefix(strings.TrimSpace(line), "[]byte(")
+			if !ok {
+				continue
+			}
+			s, err := strconv.Unquote(strings.TrimSuffix(rest, ")"))
+			if err != nil {
+				continue
+			}
+			if idx < len(s) {
+				out[int64(s[idx])] = true
+			}
+		}
+	}
+	return out
+}
+
+// testFileIdents parses the package directory's _test.go files (which the
+// loader deliberately skips) as bare ASTs and returns every identifier
+// they mention — enough to know whether a constant is exercised by the
+// round-trip tests without type-checking the test archive.
+func testFileIdents(fset *token.FileSet, dir string) map[string]bool {
+	refs := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return refs
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				refs[id.Name] = true
+			}
+			return true
+		})
+	}
+	return refs
+}

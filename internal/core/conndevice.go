@@ -66,6 +66,13 @@ type ConnDevice struct {
 	done     chan struct{}
 	doneOnce sync.Once
 
+	// loops tracks the pump and deadline goroutines; peerWG tracks
+	// in-flight peer-request handler goroutines. WaitStopped waits on both
+	// so teardown paths (and leak-checked tests) can prove the device left
+	// nothing running.
+	loops  sync.WaitGroup
+	peerWG sync.WaitGroup
+
 	xid atomic.Uint32
 
 	// RequestTimeout bounds synchronous request round-trips and each fence
@@ -148,6 +155,7 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 			d.backlog = append(d.backlog, m)
 		}
 	}
+	d.loops.Add(2)
 	go d.pump()
 	go d.deadlineLoop()
 	return d, nil
@@ -211,10 +219,22 @@ func (d *ConnDevice) Drain(timeout time.Duration) error {
 }
 
 // Close tears down the connection, fails pending requests, and completes
-// every outstanding fence with ErrClosed.
+// every outstanding fence with ErrClosed. It does not wait for the pump
+// and deadline goroutines — controller event handlers run on the pump, so
+// a Close issued from one would self-deadlock; callers that must prove
+// quiescence follow up with WaitStopped from a different goroutine.
 func (d *ConnDevice) Close() error {
 	d.failAll()
 	return d.conn.Close()
+}
+
+// WaitStopped blocks until the device's pump and deadline goroutines and
+// every in-flight peer-request handler have exited. Call it after Close
+// (or after the conn died), never from a controller event handler — those
+// run on the pump goroutine and would deadlock waiting on themselves.
+func (d *ConnDevice) WaitStopped() {
+	d.loops.Wait()
+	d.peerWG.Wait()
 }
 
 // failAll marks the device closed and fails everything outstanding:
@@ -252,6 +272,7 @@ func (d *ConnDevice) failAll() {
 }
 
 func (d *ConnDevice) pump() {
+	defer d.loops.Done()
 	// A dead connection fails all outstanding work: retrying fences into a
 	// closed conn cannot succeed and would stall rollback of the other
 	// path devices behind BarrierRetries×RequestTimeout of dead air.
@@ -269,7 +290,11 @@ func (d *ConnDevice) pump() {
 		// handler waits on.
 		if m.Type.PeerRequest() {
 			if h := d.peerHandlerRef(); h != nil {
-				go h(m)
+				d.peerWG.Add(1)
+				go func() {
+					defer d.peerWG.Done()
+					h(m)
+				}()
 			}
 			continue
 		}
@@ -638,6 +663,7 @@ func (d *ConnDevice) kickDeadlines() {
 // FIFO-ordered because every fence shares RequestTimeout, so only the head
 // entry's expiry ever needs arming.
 func (d *ConnDevice) deadlineLoop() {
+	defer d.loops.Done()
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
@@ -645,7 +671,7 @@ func (d *ConnDevice) deadlineLoop() {
 		hasWork := len(d.dl) > 0
 		var wait time.Duration
 		if hasWork {
-			wait = time.Until(d.dl[0].at) //softmow:allow determinism fence timeout scheduling, never feeds replayable state
+			wait = time.Until(d.dl[0].at)
 		}
 		d.mu.Unlock()
 		if !hasWork {

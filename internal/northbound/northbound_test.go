@@ -14,6 +14,7 @@ import (
 	"repro/internal/pathimpl"
 	"repro/internal/reca"
 	"repro/internal/southbound"
+	"repro/internal/testutil/leakcheck"
 )
 
 // tcpPair returns the two ends of one real TCP connection over loopback.
@@ -60,6 +61,9 @@ type distTree struct {
 
 func buildDist(t *testing.T) *distTree {
 	t.Helper()
+	// Every goroutine the tree spawns — ParentConn serve loops, device
+	// pumps, peer-request handlers — must be gone after the cleanup below.
+	leakcheck.Check(t)
 	dpn := dataplane.NewNetwork()
 	for _, id := range []dataplane.DeviceID{"S1", "S2", "S3", "S4"} {
 		dpn.AddSwitch(id)
@@ -150,6 +154,9 @@ func buildDist(t *testing.T) *distTree {
 		}
 		for _, d := range dt.devs {
 			d.Close()
+		}
+		for _, d := range dt.devs {
+			d.WaitStopped()
 		}
 	})
 

@@ -48,6 +48,9 @@ type ParentConn struct {
 	pending map[uint32]chan southbound.Msg
 	// closed records connection teardown, guarded by mu.
 	closed bool
+	// serveDone is closed when the serve goroutine exits, so Close can
+	// wait for the receive side to be fully quiescent.
+	serveDone chan struct{}
 
 	xid atomic.Uint32
 
@@ -81,6 +84,7 @@ func Connect(child *core.Controller, conn southbound.Conn) (*ParentConn, error) 
 		gswitch:        child.GSwitchID(),
 		parentID:       parentID,
 		pending:        make(map[uint32]chan southbound.Msg),
+		serveDone:      make(chan struct{}),
 		RequestTimeout: 30 * time.Second,
 	}
 	if wd, ok := conn.(southbound.WriteDeadliner); ok {
@@ -97,6 +101,7 @@ func (p *ParentConn) ParentID() string { return p.parentID }
 
 // serve owns the receive side until the connection dies.
 func (p *ParentConn) serve() {
+	defer close(p.serveDone)
 	defer p.failAll()
 	for {
 		m, err := p.conn.Recv()
@@ -326,15 +331,21 @@ func (p *ParentConn) failAll() {
 	pend := p.pending
 	p.pending = make(map[uint32]chan southbound.Msg)
 	p.mu.Unlock()
-	for _, ch := range pend { //softmow:allow determinism every waiter gets the same closed-channel signal, completion order is unobservable
+	// Every waiter gets the same closed-channel signal, so completion
+	// order across the map iteration is unobservable.
+	for _, ch := range pend {
 		close(ch)
 	}
 }
 
-// Close tears down the connection and fails every outstanding request.
+// Close tears down the connection, fails every outstanding request, and
+// waits for the serve goroutine to exit — after Close returns, the link
+// has no goroutine left running.
 func (p *ParentConn) Close() error {
 	p.failAll()
-	return p.conn.Close()
+	err := p.conn.Close()
+	<-p.serveDone
+	return err
 }
 
 // Drain waits until the child has no northbound request in flight, or the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/testutil/leakcheck"
 )
 
 // sampleMsgs covers every message type the codec encodes, with
@@ -370,6 +371,7 @@ func TestBinConnWriteDeadline(t *testing.T) {
 // write timeout, Close from another goroutine still unblocks a stalled
 // Send promptly.
 func TestBinConnCloseUnblocksSend(t *testing.T) {
+	leakcheck.Check(t)
 	client, _ := tcpPair(t)
 
 	big := Msg{Type: TypeEchoRequest, Body: Echo{Payload: strings.Repeat("x", 256<<10)}}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dataplane"
+	"repro/internal/testutil/leakcheck"
 )
 
 func TestPipeRoundTrip(t *testing.T) {
@@ -27,6 +28,7 @@ func TestPipeRoundTrip(t *testing.T) {
 }
 
 func TestPipeCloseUnblocksRecv(t *testing.T) {
+	leakcheck.Check(t)
 	a, b := Pipe(0)
 	done := make(chan error, 1)
 	go func() {
@@ -71,6 +73,7 @@ func TestPipeDrainAfterClose(t *testing.T) {
 }
 
 func TestPipeDrainsFullBufferAfterClose(t *testing.T) {
+	leakcheck.Check(t)
 	// Every message buffered before close must be delivered, in order,
 	// before Recv reports EOF — not just one racing message.
 	a, b := Pipe(8)
@@ -205,6 +208,7 @@ func TestGobConnOverTCP(t *testing.T) {
 }
 
 func TestGobConnEOFOnClose(t *testing.T) {
+	leakcheck.Check(t)
 	RegisterGobTypes()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

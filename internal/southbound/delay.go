@@ -110,7 +110,9 @@ func (c *DelayedConn) forward() {
 				return
 			}
 		}
-		if d := time.Until(next.due); d > 0 { //softmow:allow determinism emulated propagation delay shapes measured latency only, never replayable state
+		// Emulated propagation delay shapes measured latency only, never
+		// replayable state.
+		if d := time.Until(next.due); d > 0 {
 			timer.Reset(d)
 			select {
 			case <-timer.C:

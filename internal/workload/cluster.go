@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -44,6 +45,15 @@ type Cluster struct {
 	// Lo and Hi bound the regions this process owns: [0, len(Regions))
 	// for a full in-process cluster.
 	Lo, Hi int
+
+	// devices and conns record every protocol device and delayed pipe a
+	// delayed attach created, and agents tracks the switch-agent serve
+	// goroutines, so Close can tear the whole control plane down and
+	// prove every goroutine exited.
+	devices   []*core.ConnDevice
+	conns     []*southbound.DelayedConn
+	agents    sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // regionNames fills the deterministic name fields for region k.
@@ -111,22 +121,48 @@ func addRegionDataplane(net *dataplane.Network, k, bsPerRegion int) (Region, cor
 // the workload exercises the binary codec, the ConnDevice completion
 // pipeline, and genuine WAN round-trip overlap rather than a per-call
 // sleep.
-func attachDelayed(net *dataplane.Network, leaf *core.Controller, controlDelay time.Duration) error {
+func (cl *Cluster) attachDelayed(leaf *core.Controller, controlDelay time.Duration) error {
 	for _, d := range leaf.Devices() {
-		sw := net.Switch(d.ID())
+		sw := cl.Net.Switch(d.ID())
 		if sw == nil {
 			continue // G-switch or other virtual device
 		}
-		agent := southbound.NewSwitchAgent(net, sw)
+		agent := southbound.NewSwitchAgent(cl.Net, sw)
 		ctrlEnd, devEnd := southbound.Pipe(256)
-		go agent.Serve(southbound.NewDelayedConn(devEnd, controlDelay))
+		dc := southbound.NewDelayedConn(devEnd, controlDelay)
+		cl.conns = append(cl.conns, dc)
+		cl.agents.Add(1)
+		go func() {
+			defer cl.agents.Done()
+			_ = agent.Serve(dc) //softmow:allow errdiscard the agent exits when its pipe dies; teardown is the only cause and the error carries no extra signal
+		}()
 		cd, err := core.DialDevice(ctrlEnd, leaf.ID)
 		if err != nil {
 			return fmt.Errorf("workload: dial %s: %w", d.ID(), err)
 		}
+		cl.devices = append(cl.devices, cd)
 		leaf.AttachDevice(cd)
 	}
 	return nil
+}
+
+// Close tears down every protocol device and delayed pipe a delayed
+// attach created and waits until all switch-agent and device goroutines
+// have exited. It is a no-op for clusters built without a control delay
+// and safe to call more than once.
+func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() {
+		for _, cd := range cl.devices {
+			_ = cd.Close() //softmow:allow errdiscard teardown path; the pipe cannot fail to close and pending work is failed with ErrClosed by design
+		}
+		for _, dc := range cl.conns {
+			_ = dc.Close() //softmow:allow errdiscard teardown path; closing the delayed leg is idempotent and its error carries no extra signal
+		}
+		cl.agents.Wait()
+		for _, cd := range cl.devices {
+			cd.WaitStopped()
+		}
+	})
 }
 
 // addInterdomain wires region r's prefix to exit via its own egress.
@@ -188,7 +224,7 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 	}
 	if controlDelay > 0 {
 		for _, leaf := range hier.Leaves {
-			if err := attachDelayed(net, leaf, controlDelay); err != nil {
+			if err := cl.attachDelayed(leaf, controlDelay); err != nil {
 				return nil, err
 			}
 		}
@@ -277,7 +313,7 @@ func BuildRegionSlice(regions, bsPerRegion, shards int, controlDelay time.Durati
 			leaf.SetUEShardCount(shards)
 		}
 		if controlDelay > 0 {
-			if err := attachDelayed(net, leaf, controlDelay); err != nil {
+			if err := cl.attachDelayed(leaf, controlDelay); err != nil {
 				return nil, err
 			}
 		}

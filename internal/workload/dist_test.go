@@ -95,6 +95,7 @@ func TestDistributedDigestsMatchInProcess(t *testing.T) {
 	if err != nil {
 		t.Fatalf("in-process engine: %v", err)
 	}
+	defer cl.Close()
 	ref := workload.BuildReport(cfg, cl, eng.Run())
 
 	root, ps := buildDistCluster(t, cfg, 2)

@@ -26,6 +26,7 @@ func TestFailoverDigestMatchesPlainRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	eng.Run()
 	want := StateDigest(cl)
 

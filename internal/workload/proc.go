@@ -167,11 +167,14 @@ func (p *RegionProc) Drain(timeout time.Duration) error {
 	return firstErr
 }
 
-// Close tears down the northbound connections.
+// Close tears down the northbound connections, then the slice's delayed
+// southbound attachments, waiting until every agent and device goroutine
+// has exited.
 func (p *RegionProc) Close() {
 	for _, pc := range p.links {
 		_ = pc.Close() //softmow:allow errdiscard teardown of an already-drained conn; the transport is being discarded either way
 	}
+	p.cl.Close()
 }
 
 // RegionMain runs one region process's command loop against a launcher:

@@ -112,6 +112,7 @@ func TestEngineDeterminism(t *testing.T) {
 			t.Fatalf("%s: %d failures, first: %v", v.name, res.Failures, res.FirstErr)
 		}
 		td, sd := TraceDigest(res.Ops), StateDigest(cl)
+		cl.Close()
 		if trace == "" {
 			trace, state = td, sd
 			continue
@@ -133,6 +134,7 @@ func TestEngineReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer cl.Close()
 	res := eng.Run()
 	rep := BuildReport(cfg, cl, res)
 	if rep.Events != cfg.Events || rep.Failures != 0 {
