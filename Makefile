@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race chaos check bench bench-workload smoke-dist smoke-failover docs-check lint fuzz
+.PHONY: build test vet race chaos check bench bench-workload smoke-dist smoke-failover smoke-impaired docs-check lint fuzz
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,34 @@ b = json.load(open('/tmp/BENCH_failover_b.json')); \
 assert a['state_digest'] == b['state_digest'] and a['trace_digest'] == b['trace_digest'], 'failover smoke not replayable'; \
 assert a['failover']['digests_match'] and b['failover']['digests_match'], 'failover run diverged from plain run'; \
 print('failover smoke: digests identical, %.0fx replay reduction' % a['failover']['replay_reduction'])"
+
+# Impaired-WAN smoke: the fixed-seed scenario matrix (clean / lossy /
+# jittery / combined / fixed-timeout baselines / scheduled partition),
+# run twice. Every non-best-effort scenario must land on the clean run's
+# replay digests with zero failures (loadgen enforces this per run), the
+# two runs must be identical to each other (best-effort baselines are
+# exempt: their failures are wall-clock-timing-dependent by design), and
+# the clean digests must stay pinned — both at the seed-7 smoke config
+# and at the canonical bench config the ISSUE pins (38b75103cf760429 /
+# 904e505b89fcac36), proving impairment plumbing moved no digest.
+smoke-impaired:
+	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
+	  -impair-matrix -out /tmp/BENCH_impaired_a.json
+	$(GO) run ./cmd/loadgen -seed 7 -regions 2 -ues 5000 -events 20000 \
+	  -impair-matrix -out /tmp/BENCH_impaired_b.json
+	$(GO) run ./cmd/loadgen -seed 1 -regions 4 -ues 100000 -events 200000 \
+	  -shards 16 -out /tmp/BENCH_impaired_canon.json
+	@python3 -c "import json; \
+a = json.load(open('/tmp/BENCH_impaired_a.json')); \
+b = json.load(open('/tmp/BENCH_impaired_b.json')); \
+c = json.load(open('/tmp/BENCH_impaired_canon.json')); \
+assert a['trace_digest'] == 'e9b3b20e1c21f4a7' and a['state_digest'] == 'cc4d4d83bbeb638e', 'impaired smoke moved the seed-7 clean digests: %s %s' % (a['trace_digest'], a['state_digest']); \
+assert c['trace_digest'] == '38b75103cf760429' and c['state_digest'] == '904e505b89fcac36', 'impaired smoke moved the pinned canonical digests: %s %s' % (c['trace_digest'], c['state_digest']); \
+sa = {s['name']: s for s in a['impairment']['scenarios']}; \
+sb = {s['name']: s for s in b['impairment']['scenarios']}; \
+assert sa.keys() == sb.keys(), 'scenario sets differ'; \
+mismatch = [n for n in sa if not sa[n].get('best_effort') and (sa[n]['trace_digest'], sa[n]['state_digest']) != (sb[n]['trace_digest'], sb[n]['state_digest'])]; \
+assert not mismatch, 'impaired smoke not replayable: %s' % mismatch; \
+part = sa['partitioned']['partition']; \
+assert part['links_restored'] and part['rediscoveries'] > 0, 'partition scenario did not recover via rediscovery'; \
+print('impaired smoke: %d scenarios, digests identical across runs, canonical digests pinned, partition recovered (%d suspects, %d rediscoveries)' % (len(sa), part['suspects'], part['rediscoveries']))"

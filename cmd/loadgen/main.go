@@ -75,6 +75,7 @@ func realMain() int {
 		lostCmts  = flag.Int("lost-commits", 3, "acked ops whose commits the dying master loses under -chaos-failover")
 		abandonW  = flag.Int("abandon", 4, "in-flight ops the dying master abandons (logged, unprocessed) under -chaos-failover")
 		snapEvery = flag.Int("snapshot-every", 64, "checkpoint the replicated UE table every N committed entries under -chaos-failover")
+		impairMtx = flag.Bool("impair-matrix", false, "run the impaired-WAN scenario matrix (clean / lossy / jittery / combined / fixed-timeout baseline / scheduled partition) at the shared seed, require identical replay digests across scenarios, and emit the impairment report section")
 		procs     = flag.Int("procs", 0, "region processes: >0 runs the distributed multi-process mode with the regions split contiguously among this many processes (0 = in-process)")
 		regionBin = flag.String("region-bin", "", "region process binary for -procs (empty = re-exec this binary with -as-region)")
 		verify    = flag.Bool("verify-inproc", false, "after a -procs run, re-run in-process and require identical replay digests")
@@ -170,6 +171,17 @@ func realMain() int {
 		}
 		rep.Failover = sec
 	}
+	if *impairMtx {
+		if *procs > 0 {
+			fatal(fmt.Errorf("-impair-matrix runs in-process only (not with -procs)"))
+		}
+		m, merr := runImpairMatrix(cfg)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: impair-matrix FAILED:", merr)
+			return 1
+		}
+		rep.Impairment = m
+	}
 	if *compare {
 		base, err := comparePass(cfg, 1)
 		if err != nil {
@@ -233,6 +245,22 @@ func realMain() int {
 		if !fo.DigestsMatch {
 			fmt.Fprintln(os.Stderr, "loadgen: chaos-failover FAILED: a failover run diverged from the plain run")
 			return 1
+		}
+	}
+	if im := rep.Impairment; im != nil {
+		for _, sc := range im.Scenarios {
+			extra := ""
+			if sc.Partition != nil {
+				extra = fmt.Sprintf(", partition: %d suspects, %d rediscoveries, restored %t",
+					sc.Partition.Suspects, sc.Partition.Rediscoveries, sc.Partition.LinksRestored)
+			}
+			fmt.Printf("loadgen: impair [%s]: %.0f ev/s, %d failures, "+
+				"netem %d sent / %d dropped (%d loss, %d partition), %d reordered, "+
+				"%d rtt samples, %d retries, %d stale replies%s\n",
+				sc.Name, sc.EventsPerSec, sc.Failures,
+				sc.Netem.Sent, sc.Netem.DroppedLoss+sc.Netem.DroppedOverflow+sc.Netem.DroppedPartition,
+				sc.Netem.DroppedLoss, sc.Netem.DroppedPartition, sc.Netem.Reordered,
+				sc.RTTSamples, sc.BarrierRetries, sc.StaleReplies, extra)
 		}
 	}
 	if rep.Failures > 0 {

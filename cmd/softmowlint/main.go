@@ -65,7 +65,9 @@ import (
 // pure functions of (seed, config), and the HA snapshot/promotion layer,
 // whose checkpoint and redo order the failover smoke replays byte-for-byte,
 // and the northbound wire link, whose message and interdomain push order
-// the distributed replay-digest comparison depends on.
+// the distributed replay-digest comparison depends on, and the netem
+// impairment model, whose per-link drop/jitter streams must be pure
+// functions of (seed, profile) for impaired-run digests to replay.
 var determinismPkgs = map[string]bool{
 	"repro/internal/core":       true,
 	"repro/internal/chaos":      true,
@@ -75,6 +77,7 @@ var determinismPkgs = map[string]bool{
 	"repro/internal/workload":   true,
 	"repro/internal/ha":         true,
 	"repro/internal/northbound": true,
+	"repro/internal/netem":      true,
 }
 
 // analyzerNames lists every analyzer in run order, for the stats table.

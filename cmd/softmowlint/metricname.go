@@ -19,20 +19,28 @@ const metricsPkgPath = "repro/internal/metrics"
 // that can never move.
 var prodMetricRegistry = map[string]map[string]bool{
 	"repro/internal/core": {
-		"core.southbound.batches":         true,
-		"core.southbound.flowmods":        true,
-		"core.southbound.barriers":        true,
-		"core.southbound.barrier_retries": true,
-		"core.southbound.sync_roundtrips": true,
-		"core.southbound.flush_rollbacks": true,
-		"core.southbound.flush_latency":   true,
-		"core.pathsetup.setup_latency":    true,
-		"core.pathsetup.teardown_latency": true,
-		"core.pathsetup.reroute_latency":  true,
-		"core.graph.cache_hits":           true,
-		"core.graph.cache_misses":         true,
-		"core.graph.rebuilds":             true,
-		"core.graph.build_latency":        true,
+		"core.southbound.batches":           true,
+		"core.southbound.flowmods":          true,
+		"core.southbound.barriers":          true,
+		"core.southbound.barrier_retries":   true,
+		"core.southbound.sync_roundtrips":   true,
+		"core.southbound.flush_rollbacks":   true,
+		"core.southbound.flush_latency":     true,
+		"core.southbound.rtt_samples":       true,
+		"core.southbound.rtt_observed":      true,
+		"core.southbound.rtt_timeout":       true,
+		"core.southbound.rtt_stale_replies": true,
+		"core.discovery.probes":             true,
+		"core.discovery.probe_misses":       true,
+		"core.discovery.suspects":           true,
+		"core.discovery.rediscoveries":      true,
+		"core.pathsetup.setup_latency":      true,
+		"core.pathsetup.teardown_latency":   true,
+		"core.pathsetup.reroute_latency":    true,
+		"core.graph.cache_hits":             true,
+		"core.graph.cache_misses":           true,
+		"core.graph.rebuilds":               true,
+		"core.graph.build_latency":          true,
 	},
 	"repro/internal/reca": {
 		"reca.compute.count":   true,
@@ -50,6 +58,15 @@ var prodMetricRegistry = map[string]map[string]bool{
 	},
 	"repro/internal/southbound": {
 		"southbound.dropped_sends": true,
+	},
+	"repro/internal/netem": {
+		"netem.sent":              true,
+		"netem.delivered":         true,
+		"netem.dropped_loss":      true,
+		"netem.dropped_overflow":  true,
+		"netem.dropped_partition": true,
+		"netem.reordered":         true,
+		"netem.delay":             true,
 	},
 }
 

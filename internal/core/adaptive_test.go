@@ -1,0 +1,153 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/southbound"
+)
+
+// serveEchoSwallowBarriers answers echo requests on the device side and
+// silently swallows everything else (FlowMods, barriers) — a live but
+// write-blackholed channel, the scenario adaptive fences must fail fast
+// on. Exits when the conn closes.
+func serveEchoSwallowBarriers(c southbound.Conn) {
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		if m.Type == southbound.TypeEchoRequest {
+			_ = c.Send(southbound.Msg{Type: southbound.TypeEchoReply, Xid: m.Xid, Body: m.Body})
+		}
+	}
+}
+
+// TestRTTEstimatorConverges: echo round trips feed the Jacobson/Karels
+// estimator; after a handful of pings the estimate is positive, sane, and
+// the sample count matches.
+func TestRTTEstimatorConverges(t *testing.T) {
+	dev, devEnd := dialScripted(t)
+	go serveEchoSwallowBarriers(devEnd)
+	for i := 0; i < 10; i++ {
+		if err := dev.Ping(time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	srtt, rttvar, n := dev.RTTEstimate()
+	if n != 10 {
+		t.Fatalf("samples = %d, want 10", n)
+	}
+	if srtt <= 0 || srtt > 100*time.Millisecond {
+		t.Fatalf("srtt = %v, want a sane in-process RTT", srtt)
+	}
+	if rttvar < 0 {
+		t.Fatalf("rttvar = %v, negative", rttvar)
+	}
+}
+
+// TestAdaptiveFenceFailsFast: once the estimator has samples, a
+// blackholed fence exhausts its retry budget on RTT-scale deadlines —
+// orders of magnitude before the constant RequestTimeout would have
+// noticed.
+func TestAdaptiveFenceFailsFast(t *testing.T) {
+	dev, devEnd := dialScripted(t)
+	go serveEchoSwallowBarriers(devEnd)
+	dev.RequestTimeout = 2 * time.Second
+	dev.BarrierRetries = 2
+	dev.MinRTO = time.Millisecond
+	for i := 0; i < 5; i++ {
+		if err := dev.Ping(time.Second); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+	}
+	start := time.Now()
+	err := dev.InstallRule(dataplane.Rule{Priority: 1})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "fence failed") {
+		t.Fatalf("install on a blackholed channel: %v, want fence-failed", err)
+	}
+	// Budget: 1ms + 2ms + 4ms of backoff plus scheduling slop — nowhere
+	// near the 2s constant (×3 attempts = 6s) the fixed baseline needs.
+	if elapsed > time.Second {
+		t.Fatalf("adaptive fence took %v, wanted RTT-scale failure", elapsed)
+	}
+}
+
+// TestFixedTimeoutBaseline: with AdaptiveTimeout off the constant
+// RequestTimeout still governs, samples or not — the comparison baseline
+// the impairment scenario matrix measures against.
+func TestFixedTimeoutBaseline(t *testing.T) {
+	dev, devEnd := dialScripted(t)
+	go serveEchoSwallowBarriers(devEnd)
+	dev.AdaptiveTimeout = false
+	dev.RequestTimeout = 30 * time.Millisecond
+	dev.BarrierRetries = 0
+	for i := 0; i < 5; i++ {
+		if err := dev.Ping(time.Second); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+	}
+	start := time.Now()
+	err := dev.InstallRule(dataplane.Rule{Priority: 1})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("install on a blackholed channel succeeded")
+	}
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("fixed-timeout fence failed after %v, before RequestTimeout", elapsed)
+	}
+}
+
+// TestShortDeadlineOvertakesLong: the deadline queue is sorted and the
+// loop re-arms on insert, so a fresh RTT-scale fence expires while an
+// older constant-scale fence is still pending — the ordering property
+// the old FIFO queue could not express.
+func TestShortDeadlineOvertakesLong(t *testing.T) {
+	dev, devEnd := dialScripted(t)
+	go serveEchoSwallowBarriers(devEnd)
+	dev.RequestTimeout = time.Second
+	dev.BarrierRetries = 0
+	dev.MinRTO = time.Millisecond
+
+	// Fence A arms before any sample exists → constant 1s deadline.
+	errA := make(chan error, 1)
+	go func() { errA <- dev.InstallRule(dataplane.Rule{Priority: 1}) }()
+	// Wait until A's barrier is actually outstanding.
+	for i := 0; i < 200; i++ {
+		dev.mu.Lock()
+		n := len(dev.barriers)
+		dev.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Seed the estimator, then arm fence B → ~1ms deadline.
+	for i := 0; i < 5; i++ {
+		if err := dev.Ping(time.Second); err != nil {
+			t.Fatalf("ping: %v", err)
+		}
+	}
+	errB := make(chan error, 1)
+	go func() { errB <- dev.InstallRule(dataplane.Rule{Priority: 2}) }()
+
+	select {
+	case err := <-errB:
+		if err == nil {
+			t.Fatal("fence B succeeded on a blackholed channel")
+		}
+	case <-time.After(500 * time.Millisecond):
+		t.Fatal("fence B did not expire ahead of fence A: deadline queue not re-armed")
+	}
+	select {
+	case err := <-errA:
+		t.Fatalf("fence A resolved early: %v", err)
+	default: // still pending, as its 1s deadline demands
+	}
+	if err := <-errA; err == nil {
+		t.Fatal("fence A succeeded on a blackholed channel")
+	}
+}

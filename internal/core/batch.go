@@ -21,11 +21,19 @@ var (
 	connBarriers       = metrics.NewCounter("core.southbound.barriers")
 	connBarrierRetries = metrics.NewCounter("core.southbound.barrier_retries")
 	connSyncRoundTrips = metrics.NewCounter("core.southbound.sync_roundtrips")
-	flushRollbacks     = metrics.NewCounter("core.southbound.flush_rollbacks")
-	flushLatency       = metrics.NewDurationHist("core.southbound.flush_latency")
-	setupLatency       = metrics.NewDurationHist("core.pathsetup.setup_latency")
-	teardownLatency    = metrics.NewDurationHist("core.pathsetup.teardown_latency")
-	rerouteLatency     = metrics.NewDurationHist("core.pathsetup.reroute_latency")
+	// Adaptive-timeout observability: every accepted RTT sample, the
+	// attempt timeouts the estimator armed, and barrier replies that
+	// arrived after their fence expired (the spurious-retry fingerprint
+	// adaptive timeouts exist to suppress).
+	connRTTSamples          = metrics.NewCounter("core.southbound.rtt_samples")
+	connRTTObserved         = metrics.NewDurationHist("core.southbound.rtt_observed")
+	connRTTTimeout          = metrics.NewDurationHist("core.southbound.rtt_timeout")
+	connStaleBarrierReplies = metrics.NewCounter("core.southbound.rtt_stale_replies")
+	flushRollbacks          = metrics.NewCounter("core.southbound.flush_rollbacks")
+	flushLatency            = metrics.NewDurationHist("core.southbound.flush_latency")
+	setupLatency            = metrics.NewDurationHist("core.pathsetup.setup_latency")
+	teardownLatency         = metrics.NewDurationHist("core.pathsetup.teardown_latency")
+	rerouteLatency          = metrics.NewDurationHist("core.pathsetup.reroute_latency")
 )
 
 // BatchInstaller is the optional Device extension for batched rule

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -45,10 +46,17 @@ type ConnDevice struct {
 	// completion under a fresh xid, so a stale reply to the old xid finds
 	// nothing to satisfy — it cannot complete a newer fence.
 	barriers map[uint32]*barrierComp
-	// dl is the fence deadline queue in FIFO order (deadlines are
-	// monotonic because every fence uses the same RequestTimeout),
-	// guarded by mu.
+	// dl is the fence deadline queue sorted by expiry (adaptive timeouts
+	// and retry backoff make deadlines non-monotonic, so entries insert
+	// in order rather than append FIFO), guarded by mu.
 	dl []dlEntry
+	// srtt is the smoothed round-trip estimate (Jacobson/Karels EWMA,
+	// gain 1/8), guarded by mu.
+	srtt time.Duration
+	// rttvar is the smoothed mean RTT deviation (gain 1/4), guarded by mu.
+	rttvar time.Duration
+	// rttSamples counts accepted RTT observations, guarded by mu.
+	rttSamples int64
 	// closed records connection teardown, guarded by mu.
 	closed bool
 	// backlog holds events that arrived during the feature handshake,
@@ -76,12 +84,31 @@ type ConnDevice struct {
 	xid atomic.Uint32
 
 	// RequestTimeout bounds synchronous request round-trips and each fence
-	// attempt.
+	// attempt. With AdaptiveTimeout it becomes the ceiling the RTT
+	// estimator can never exceed (and the timeout used before the first
+	// sample arrives).
 	RequestTimeout time.Duration
 	// BarrierRetries is how many extra barrier attempts a fence makes after
 	// a timeout before the operation is reported failed (each attempt is
-	// itself bounded by RequestTimeout). Closed connections never retry.
+	// itself bounded by the attempt timeout). Closed connections never
+	// retry.
 	BarrierRetries int
+	// AdaptiveTimeout sizes fence deadlines from the measured RTT
+	// (srtt + 4·rttvar, Jacobson/Karels) instead of the constant
+	// RequestTimeout, with exponential backoff across fence retries. On a
+	// continent-scale WAN the constant is either hopelessly conservative
+	// (5s stalls behind a single lost reply) or spuriously aggressive
+	// (2ms jitter trips a 5ms constant); the estimator tracks the
+	// channel. Samples obey Karn's rule: retransmitted fences never feed
+	// the estimator. Only fences adapt: a spurious fence fire costs one
+	// retransmission, while a single-shot synchronous request has no
+	// retry path, so those stay bounded by the RequestTimeout ceiling
+	// (a large fragmented transfer outruns an RTO sized from small-frame
+	// samples).
+	AdaptiveTimeout bool
+	// MinRTO floors the adaptive timeout so microsecond in-process RTTs
+	// don't arm hair-trigger deadlines that fire on any scheduling blip.
+	MinRTO time.Duration
 	// DisableBatch forces InstallRules back to one synchronous
 	// FlowMod+barrier round trip per rule — the pre-batching behaviour,
 	// kept for wire compatibility with old agents and as the benchmark
@@ -90,11 +117,14 @@ type ConnDevice struct {
 }
 
 // barrierComp is one outstanding fence: the callback to fire exactly once,
-// the modification xid the fence covers, and the retry budget consumed.
+// the modification xid the fence covers, the retry budget consumed, and
+// when the current attempt went on the wire (for RTT sampling; zero after
+// a retransmit per Karn's rule).
 type barrierComp struct {
 	cb       func(error)
 	modXid   uint32
 	attempts int
+	sentAt   time.Time
 }
 
 // dlEntry is one scheduled fence timeout. xid snapshots the barrier xid
@@ -116,14 +146,16 @@ func DialDevice(conn southbound.Conn, controllerID string) (*ConnDevice, error) 
 		return nil, err
 	}
 	d := &ConnDevice{
-		conn:           conn,
-		pending:        make(map[uint32]chan southbound.Msg),
-		mods:           make(map[uint32]error),
-		barriers:       make(map[uint32]*barrierComp),
-		dlKick:         make(chan struct{}, 1),
-		done:           make(chan struct{}),
-		RequestTimeout: 5 * time.Second,
-		BarrierRetries: 2,
+		conn:            conn,
+		pending:         make(map[uint32]chan southbound.Msg),
+		mods:            make(map[uint32]error),
+		barriers:        make(map[uint32]*barrierComp),
+		dlKick:          make(chan struct{}, 1),
+		done:            make(chan struct{}),
+		RequestTimeout:  5 * time.Second,
+		BarrierRetries:  2,
+		AdaptiveTimeout: true,
+		MinRTO:          5 * time.Millisecond,
 	}
 	if wd, ok := conn.(southbound.WriteDeadliner); ok {
 		wd.SetWriteTimeout(d.RequestTimeout)
@@ -306,6 +338,10 @@ func (d *ConnDevice) pump() {
 			// through every table and are dropped below.
 			if comp, ok := d.barriers[m.Xid]; ok {
 				delete(d.barriers, m.Xid)
+				if comp.attempts == 0 && !comp.sentAt.IsZero() {
+					//softmow:allow determinism RTT measurement shapes timeout pacing only, never replayable state
+					d.observeRTTLocked(time.Now().Sub(comp.sentAt))
+				}
 				ferr := d.takeModErrLocked(comp)
 				d.mu.Unlock()
 				if m.Type == southbound.TypeError && ferr == nil {
@@ -333,6 +369,13 @@ func (d *ConnDevice) pump() {
 				continue
 			}
 			if m.Type != southbound.TypePacketIn && m.Type != southbound.TypePortStatus {
+				if m.Type == southbound.TypeBarrierReply {
+					// A barrier answered after its fence timed out and was
+					// re-keyed (or failed): the fingerprint of a spurious
+					// retry — the deadline fired on a live, merely slow
+					// channel. Adaptive timeouts exist to keep this near 0.
+					connStaleBarrierReplies.Inc()
+				}
 				continue // stale reply (e.g. a barrier answered after its fence expired)
 			}
 		}
@@ -418,8 +461,68 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
-// request performs one synchronous round-trip.
+// observeRTTLocked folds one round-trip sample into the Jacobson/Karels
+// estimator (srtt gain 1/8, rttvar gain 1/4); caller holds mu.
+func (d *ConnDevice) observeRTTLocked(sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	if d.rttSamples == 0 {
+		d.srtt = sample
+		d.rttvar = sample / 2
+	} else {
+		diff := d.srtt - sample
+		if diff < 0 {
+			diff = -diff
+		}
+		d.rttvar += (diff - d.rttvar) / 4
+		d.srtt += (sample - d.srtt) / 8
+	}
+	d.rttSamples++
+	connRTTSamples.Inc()
+	connRTTObserved.Observe(sample)
+}
+
+// RTTEstimate reports the device's smoothed RTT, mean deviation, and the
+// number of samples folded in so far (all zero before the first reply).
+func (d *ConnDevice) RTTEstimate() (srtt, rttvar time.Duration, samples int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.srtt, d.rttvar, d.rttSamples
+}
+
+// rtoLocked computes the current attempt timeout: RequestTimeout until
+// adaptive mode has a sample, then srtt + 4·rttvar clamped to
+// [MinRTO, RequestTimeout]; caller holds mu.
+func (d *ConnDevice) rtoLocked() time.Duration {
+	if !d.AdaptiveTimeout || d.rttSamples == 0 {
+		return d.RequestTimeout
+	}
+	rto := d.srtt + 4*d.rttvar
+	if rto < d.MinRTO {
+		rto = d.MinRTO
+	}
+	if rto > d.RequestTimeout {
+		rto = d.RequestTimeout
+	}
+	return rto
+}
+
+// request performs one synchronous round-trip bounded by the
+// RequestTimeout ceiling, not the adaptive RTO: a single-shot request
+// has no retransmit path, so a deadline that fires early (e.g. on a
+// multi-fragment transfer that takes longer than small-frame RTT
+// samples predict) is an unrecoverable failure rather than a retry.
 func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
+	d.mu.Lock()
+	timeout := d.RequestTimeout
+	d.mu.Unlock()
+	return d.requestT(m, timeout)
+}
+
+// requestT performs one synchronous round-trip bounded by an explicit
+// timeout. Successful round trips feed the RTT estimator.
+func (d *ConnDevice) requestT(m southbound.Msg, timeout time.Duration) (southbound.Msg, error) {
 	connSyncRoundTrips.Inc()
 	x := d.xid.Add(1)
 	m.Xid = x
@@ -431,19 +534,24 @@ func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 	}
 	d.pending[x] = ch
 	d.mu.Unlock()
+	start := time.Now() //softmow:allow determinism RTT measurement shapes timeout pacing only, never replayable state
 	if err := d.conn.Send(m); err != nil {
 		d.mu.Lock()
 		delete(d.pending, x)
 		d.mu.Unlock()
 		return southbound.Msg{}, err
 	}
-	t := getTimer(d.RequestTimeout)
+	t := getTimer(timeout)
 	defer putTimer(t)
 	select {
 	case reply, ok := <-ch:
 		if !ok {
 			return southbound.Msg{}, southbound.ErrClosed
 		}
+		d.mu.Lock()
+		//softmow:allow determinism RTT measurement shapes timeout pacing only, never replayable state
+		d.observeRTTLocked(time.Now().Sub(start))
+		d.mu.Unlock()
 		if reply.Type == southbound.TypeError {
 			return reply, d.errorFrom(reply)
 		}
@@ -454,6 +562,16 @@ func (d *ConnDevice) request(m southbound.Msg) (southbound.Msg, error) {
 		d.mu.Unlock()
 		return southbound.Msg{}, fmt.Errorf("core: request to %s timed out", d.id)
 	}
+}
+
+// Ping measures channel liveness with one echo round trip bounded by
+// timeout (not the adaptive RTO: a liveness probe deciding suspicion
+// wants the prober's deadline, not the transport's). A successful ping
+// feeds the RTT estimator like any other reply.
+func (d *ConnDevice) Ping(timeout time.Duration) error {
+	_, err := d.requestT(southbound.Msg{Type: southbound.TypeEchoRequest,
+		Body: southbound.Echo{Payload: "liveness"}}, timeout)
+	return err
 }
 
 // Request performs one synchronous request round trip on the device's
@@ -619,9 +737,12 @@ func (d *ConnDevice) fenceAsync(modXid uint32, cb func(error)) {
 		cb(southbound.ErrClosed)
 		return
 	}
+	timeout := d.rtoLocked()
+	comp.sentAt = wallDeadline(0)
 	d.barriers[bx] = comp
-	d.dl = append(d.dl, dlEntry{comp: comp, xid: bx, at: wallDeadline(d.RequestTimeout)})
+	d.insertDeadlineLocked(dlEntry{comp: comp, xid: bx, at: wallDeadline(timeout)})
 	d.mu.Unlock()
+	connRTTTimeout.Observe(timeout)
 	d.kickDeadlines()
 	if err := d.conn.Send(southbound.Msg{Type: southbound.TypeBarrierRequest, Xid: bx, Body: southbound.Barrier{}}); err != nil {
 		if merr, ok := d.completeFence(bx, comp); ok {
@@ -637,6 +758,17 @@ func (d *ConnDevice) fenceAsync(modXid uint32, cb func(error)) {
 // measurement-side machinery and never feeds replayable state.
 func wallDeadline(timeout time.Duration) time.Time {
 	return time.Now().Add(timeout) //softmow:allow determinism fence timeout scheduling, never feeds replayable state
+}
+
+// insertDeadlineLocked inserts e into the expiry-sorted deadline queue
+// (adaptive timeouts and retry backoff make arrival order non-monotonic);
+// caller holds mu. Insertion is O(n) in the worst case but the common
+// case — a stable RTO — appends at the tail.
+func (d *ConnDevice) insertDeadlineLocked(e dlEntry) {
+	i := sort.Search(len(d.dl), func(i int) bool { return d.dl[i].at.After(e.at) })
+	d.dl = append(d.dl, dlEntry{})
+	copy(d.dl[i+1:], d.dl[i:])
+	d.dl[i] = e
 }
 
 // completeFence removes the fence from the table iff it is still keyed by
@@ -659,9 +791,10 @@ func (d *ConnDevice) kickDeadlines() {
 	}
 }
 
-// deadlineLoop drives fence timeouts off one reusable timer. The queue is
-// FIFO-ordered because every fence shares RequestTimeout, so only the head
-// entry's expiry ever needs arming.
+// deadlineLoop drives fence timeouts off one reusable timer, always armed
+// for the head of the expiry-sorted queue. A kick mid-wait re-arms: with
+// adaptive timeouts a newly fenced mod can carry a deadline earlier than
+// the one the timer is sleeping toward.
 func (d *ConnDevice) deadlineLoop() {
 	defer d.loops.Done()
 	timer := time.NewTimer(time.Hour)
@@ -692,6 +825,8 @@ func (d *ConnDevice) deadlineLoop() {
 			timer.Reset(wait)
 			select {
 			case <-timer.C:
+			case <-d.dlKick:
+				continue // head may have moved earlier; recompute
 			case <-d.done:
 				return
 			}
@@ -724,9 +859,19 @@ func (d *ConnDevice) fireDeadlines() {
 		delete(d.barriers, e.xid)
 		if comp.attempts < d.BarrierRetries && !d.closed {
 			comp.attempts++
+			// Karn's rule: a retransmitted fence's reply time is ambiguous
+			// (it may answer either attempt), so it never feeds the
+			// estimator.
+			comp.sentAt = time.Time{}
+			// Exponential backoff: each retry doubles the attempt timeout,
+			// capped at the constant ceiling.
+			backoff := d.rtoLocked() << uint(comp.attempts)
+			if backoff > d.RequestTimeout {
+				backoff = d.RequestTimeout
+			}
 			nx := d.xid.Add(1)
 			d.barriers[nx] = comp
-			d.dl = append(d.dl, dlEntry{comp: comp, xid: nx, at: now.Add(d.RequestTimeout)})
+			d.insertDeadlineLocked(dlEntry{comp: comp, xid: nx, at: now.Add(backoff)})
 			resends = append(resends, resend{comp: comp, xid: nx})
 		} else {
 			d.takeModErrLocked(comp) //softmow:allow errdiscard timeout wins over any recorded mod error; the stash is drained so it cannot leak to a later fence

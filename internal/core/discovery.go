@@ -36,6 +36,31 @@ func (c *Controller) RunDiscovery() {
 	}
 }
 
+// RediscoverDevice re-emits discovery frames from every eligible port of
+// one device — the targeted companion of RunDiscovery. The liveness
+// prober calls it when a suspect device's control channel heals, so the
+// device's links re-enter the NIB (frames that complete the round trip
+// re-Put their link with Up=true) without the cost of a topology-wide
+// refresh.
+func (c *Controller) RediscoverDevice(id dataplane.DeviceID) {
+	d := c.Device(id)
+	if d == nil {
+		return
+	}
+	fr := d.Features()
+	for _, p := range fr.Ports {
+		if !p.Up || p.External || p.Radio != "" {
+			continue
+		}
+		f := &discovery.Frame{}
+		f.Push(discovery.StackEntry{Controller: c.ID, Device: fr.Device, Port: p.ID})
+		// Same contract as RunDiscovery: an emit that fails means this
+		// link is not rediscovered now; the next probe-recovery or
+		// periodic round retries.
+		_ = d.EmitDiscovery(p.ID, f) //softmow:allow errdiscard discovery is periodic and self-healing, a lost frame is retried next round
+	}
+}
+
 // HandleDiscoveryArrival processes a discovery frame that re-entered the
 // control plane at (dev, port) in this controller's topology (§4.1.2
 // "return path"):

@@ -1,0 +1,199 @@
+package netem
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/simnet"
+)
+
+// Scheduler is the injectable clock behind a Link: Now reports link-local
+// time (time since the scheduler's epoch) and At schedules a callback at
+// an absolute link-local time. Production links run on a WallScheduler;
+// determinism tests run the identical pipeline on a SimScheduler so
+// delivery traces are pure functions of (seed, profile).
+type Scheduler interface {
+	// Now returns the current link-local time.
+	Now() time.Duration
+	// At schedules fn to run at link-local time t (immediately if t is
+	// in the past). Callbacks run sequentially per scheduler.
+	At(t time.Duration, fn func())
+}
+
+// wallEvent is one pending WallScheduler callback.
+type wallEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+// wallQueue is a min-heap of pending events ordered by due time with
+// insertion-order tie-breaking.
+type wallQueue []wallEvent
+
+func (q wallQueue) Len() int { return len(q) }
+func (q wallQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q wallQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *wallQueue) Push(x interface{}) { *q = append(*q, x.(wallEvent)) }
+
+// Pop implements heap.Interface.
+func (q *wallQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1].fn = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// WallScheduler drives Link callbacks off the wall clock with a single
+// timer goroutine. The wall clock here only shapes measured latency; it
+// never feeds replayable state (impairment decisions are drawn from the
+// link's seeded RNG, not from time), so seed determinism of the workload
+// digests is unaffected.
+type WallScheduler struct {
+	epoch time.Time
+
+	mu sync.Mutex
+	// q holds pending events, guarded by mu.
+	q wallQueue
+	// seq is the next insertion sequence number, guarded by mu.
+	seq uint64
+	// stopped records Stop, guarded by mu.
+	stopped bool
+
+	wake chan struct{} // cap 1, kicked on enqueue
+	done chan struct{} // closed on Stop
+	loop sync.WaitGroup
+}
+
+// NewWallScheduler starts a wall-clock scheduler; the caller must Stop it.
+func NewWallScheduler() *WallScheduler {
+	s := &WallScheduler{
+		epoch: time.Now(), //softmow:allow determinism wall epoch shapes measured latency only, never replayable state
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	s.loop.Add(1)
+	go s.run()
+	return s
+}
+
+// Now implements Scheduler.
+func (s *WallScheduler) Now() time.Duration {
+	return time.Now().Sub(s.epoch) //softmow:allow determinism wall clock shapes measured latency only, never replayable state
+}
+
+// At implements Scheduler.
+func (s *WallScheduler) At(t time.Duration, fn func()) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	heap.Push(&s.q, wallEvent{at: t, seq: s.seq, fn: fn})
+	s.seq++
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Stop terminates the timer goroutine and waits for it to exit; pending
+// callbacks are dropped, as frames in flight are when a link dies.
+// Idempotent.
+func (s *WallScheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.loop.Wait()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.done)
+	s.loop.Wait()
+}
+
+// run is the timer goroutine: it fires due events in order and sleeps
+// until the next due time otherwise.
+func (s *WallScheduler) run() {
+	defer s.loop.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		s.mu.Lock()
+		var fn func()
+		wait := time.Duration(-1)
+		if len(s.q) > 0 {
+			if now := s.Now(); s.q[0].at <= now {
+				fn = heap.Pop(&s.q).(wallEvent).fn
+			} else {
+				wait = s.q[0].at - now
+			}
+		}
+		s.mu.Unlock()
+		if fn != nil {
+			fn()
+			continue
+		}
+		if wait < 0 {
+			select {
+			case <-s.wake:
+				continue
+			case <-s.done:
+				return
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-timer.C:
+		case <-s.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-s.done:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return
+		}
+	}
+}
+
+// SimScheduler adapts a simnet.Sim discrete-event simulator to the
+// Scheduler interface, so the exact production impairment pipeline can be
+// replayed on virtual time in determinism tests.
+type SimScheduler struct {
+	sim *simnet.Sim
+}
+
+// NewSimScheduler wraps sim. The caller drives the simulation (Run /
+// RunUntil); the scheduler only enqueues.
+func NewSimScheduler(sim *simnet.Sim) *SimScheduler {
+	return &SimScheduler{sim: sim}
+}
+
+// Now implements Scheduler.
+func (s *SimScheduler) Now() time.Duration { return s.sim.Now() }
+
+// At implements Scheduler. Past times are clamped to now (simnet.At
+// panics on the past; a frame due "now" is simply next in line).
+func (s *SimScheduler) At(t time.Duration, fn func()) {
+	if now := s.sim.Now(); t < now {
+		t = now
+	}
+	s.sim.At(t, fn)
+}

@@ -1,0 +1,150 @@
+package netem_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/simnet"
+)
+
+// TestLossConverges: measured i.i.d. loss over many frames converges to
+// the configured probability (tolerance ≫ 3σ of the binomial).
+func TestLossConverges(t *testing.T) {
+	const n = 20000
+	const p = 0.05
+	sim := simnet.New()
+	delivered := 0
+	l := netem.NewLink(netem.NewSimScheduler(sim), func(interface{}) { delivered++ },
+		netem.Profile{Loss: p}, netem.LinkRNG(1, "loss"))
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(i)*time.Microsecond, func() { _ = l.Send(i, 100) })
+	}
+	sim.Run()
+	measured := 1 - float64(delivered)/n
+	// 3σ ≈ 0.0046 at n=20000; allow 0.008.
+	if math.Abs(measured-p) > 0.008 {
+		t.Fatalf("measured loss %.4f, configured %.2f", measured, p)
+	}
+	st := l.Stats()
+	if int(st.DroppedLoss)+delivered != n {
+		t.Fatalf("drops (%d) + deliveries (%d) != sends (%d)", st.DroppedLoss, delivered, n)
+	}
+}
+
+// TestJitterConverges: with uniform jitter the mean extra delay converges
+// to Jitter/2 (frames spaced wider than the jitter range, so FIFO
+// chaining never inflates the measurement).
+func TestJitterConverges(t *testing.T) {
+	const n = 20000
+	jitter := 200 * time.Microsecond
+	delay := time.Millisecond
+	sim := simnet.New()
+	var sumExtra time.Duration
+	count := 0
+	sendAt := make(map[int]time.Duration, n)
+	l := netem.NewLink(netem.NewSimScheduler(sim), func(p interface{}) {
+		i := p.(int)
+		sumExtra += sim.Now() - sendAt[i] - delay
+		count++
+	}, netem.Profile{Delay: delay, Jitter: jitter}, netem.LinkRNG(2, "jitter"))
+	for i := 0; i < n; i++ {
+		i := i
+		at := time.Duration(i) * time.Millisecond
+		sim.At(at, func() {
+			sendAt[i] = sim.Now()
+			_ = l.Send(i, 100)
+		})
+	}
+	sim.Run()
+	if count != n {
+		t.Fatalf("delivered %d/%d on a loss-free link", count, n)
+	}
+	mean := sumExtra / time.Duration(n)
+	want := jitter / 2
+	// SEM ≈ 0.4µs at n=20000; allow ±10µs.
+	if diff := mean - want; diff < -10*time.Microsecond || diff > 10*time.Microsecond {
+		t.Fatalf("mean jitter %v, want ≈%v", mean, want)
+	}
+}
+
+// TestReorderConverges: the measured reorder rate converges to the
+// configured probability, and reordered frames actually arrive out of
+// order (inversions observed in the delivery sequence).
+func TestReorderConverges(t *testing.T) {
+	const n = 20000
+	const p = 0.1
+	prof := netem.Profile{Delay: time.Millisecond, Reorder: p, ReorderGap: 500 * time.Microsecond}
+	sim := simnet.New()
+	var order []int
+	l := netem.NewLink(netem.NewSimScheduler(sim), func(pay interface{}) {
+		order = append(order, pay.(int))
+	}, prof, netem.LinkRNG(3, "reorder"))
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(i)*100*time.Microsecond, func() { _ = l.Send(i, 100) })
+	}
+	sim.Run()
+	st := l.Stats()
+	measured := float64(st.Reordered) / n
+	if math.Abs(measured-p) > 0.01 {
+		t.Fatalf("measured reorder rate %.4f, configured %.2f", measured, p)
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reorder model produced zero out-of-order deliveries")
+	}
+}
+
+// TestGilbertElliottConverges: measured loss converges to the chain's
+// stationary rate, and drops are burstier than i.i.d. (mean drop-run
+// length well above 1).
+func TestGilbertElliottConverges(t *testing.T) {
+	const n = 30000
+	ge := &netem.GilbertElliott{PGB: 0.05, PBG: 0.25, LossBad: 0.5}
+	// Stationary bad fraction = PGB/(PGB+PBG) = 1/6 → loss ≈ 0.0833.
+	want := ge.LossBad * ge.PGB / (ge.PGB + ge.PBG)
+	sim := simnet.New()
+	got := make([]bool, n)
+	l := netem.NewLink(netem.NewSimScheduler(sim), func(p interface{}) {
+		got[p.(int)] = true
+	}, netem.Profile{GE: ge}, netem.LinkRNG(4, "ge"))
+	for i := 0; i < n; i++ {
+		i := i
+		sim.At(time.Duration(i)*time.Microsecond, func() { _ = l.Send(i, 100) })
+	}
+	sim.Run()
+	drops, runs, runLen := 0, 0, 0
+	sumRun := 0
+	for i := 0; i < n; i++ {
+		if !got[i] {
+			drops++
+			runLen++
+		} else if runLen > 0 {
+			runs++
+			sumRun += runLen
+			runLen = 0
+		}
+	}
+	if runLen > 0 {
+		runs++
+		sumRun += runLen
+	}
+	measured := float64(drops) / n
+	if math.Abs(measured-want) > 0.015 {
+		t.Fatalf("measured GE loss %.4f, stationary rate %.4f", measured, want)
+	}
+	meanRun := float64(sumRun) / float64(runs)
+	// Given a drop, the next frame drops with P(stay bad)·LossBad = 0.375,
+	// so mean run ≈ 1.6 — far above the i.i.d. ≈ 1.09 at this rate.
+	if meanRun < 1.25 {
+		t.Fatalf("mean drop-run length %.2f: burst loss looks i.i.d.", meanRun)
+	}
+}

@@ -1,132 +1,110 @@
 package southbound
 
 import (
-	"sync"
+	"math/rand"
 	"time"
+
+	"repro/internal/netem"
 )
 
-// DelayedConn wraps a Conn and holds every Send back by a fixed duration,
-// emulating the one-way propagation delay of a WAN control channel.
-// Sends are pipelined, not stop-and-wait: a burst of messages is released
-// as the same burst one delay later, exactly like frames in flight on a
-// long link. Wrapping the connection an agent serves therefore delays the
-// device→controller leg (replies and events) while controller→device
-// stays immediate — one wrapped direction models the full round trip.
+// ImpairedConn applies a netem impairment profile to the Send leg of a
+// Conn: every Send traverses the modeled WAN link (delay, jitter, loss,
+// reordering, rate cap, partitions) before reaching the inner connection,
+// while Recv stays immediate — the opposite leg is modeled by wrapping
+// the peer's conn instead. Wrapping the connection an agent serves
+// therefore impairs the device→controller leg (replies and events), so
+// one wrapped direction models the full round trip, exactly as the old
+// constant-delay wrapper did.
 //
-// The wall clock here only shapes measured latency; it never feeds
-// replayable state, so the workload harness's seed determinism is
-// unaffected.
-type DelayedConn struct {
+// Dropped frames still return nil from Send — a datagram sender on a
+// lossy WAN gets no error either; recovery is the protocol's job (the
+// ConnDevice fence pipeline retries timed-out barriers, discovery
+// re-emits, liveness probes re-ping).
+type ImpairedConn struct {
 	inner Conn
-	delay time.Duration
-
-	mu     sync.Mutex
-	q      []delayedMsg // guarded by mu; FIFO, popped only by forward
-	head   int          // guarded by mu; index of the first unsent entry
-	closed bool         // guarded by mu
-
-	wake chan struct{} // cap 1, kicked on enqueue
-	done chan struct{} // closed on Close
+	link  *netem.Link
 }
 
-type delayedMsg struct {
-	m   Msg
-	due time.Time
-}
+// DelayedConn is the historical name for the constant-delay special case;
+// it is now an ImpairedConn running a pure-delay profile.
+type DelayedConn = ImpairedConn
 
-// NewDelayedConn wraps inner so every Send is delivered delay later.
-func NewDelayedConn(inner Conn, delay time.Duration) *DelayedConn {
-	c := &DelayedConn{
-		inner: inner,
-		delay: delay,
-		wake:  make(chan struct{}, 1),
-		done:  make(chan struct{}),
-	}
-	go c.forward()
+// NewImpairedConn wraps inner so every Send traverses a WAN link impaired
+// per prof, drawing impairment randomness from rng (nil is fine for
+// profiles with no random dimension; see netem.LinkRNG for deriving
+// per-link seeded streams). The link runs on its own wall-clock
+// scheduler, stopped on Close.
+func NewImpairedConn(inner Conn, prof netem.Profile, rng *rand.Rand) *ImpairedConn {
+	c := &ImpairedConn{inner: inner}
+	c.link = netem.NewWallLink(c.deliver, prof, rng)
 	return c
 }
 
-// Send implements Conn: the message is queued for delivery one delay from
-// now and the call returns immediately (an agent emitting a reply is not
-// the party paying the propagation time — the wire is).
-func (c *DelayedConn) Send(m Msg) error {
-	due := time.Now().Add(c.delay) //softmow:allow determinism emulated propagation delay shapes measured latency only, never replayable state
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+// NewDelayedConn wraps inner so every Send is delivered delay later —
+// the trivial Profile{Delay: d} impairment, kept as a compat alias so
+// existing call sites read unchanged.
+func NewDelayedConn(inner Conn, delay time.Duration) *DelayedConn {
+	return NewImpairedConn(inner, netem.Profile{Delay: delay}, nil)
+}
+
+// Link exposes the underlying netem link for live reconfiguration
+// (SetProfile to activate impairment after a clean bootstrap, SetDown to
+// force a partition) and per-link Stats.
+func (c *ImpairedConn) Link() *netem.Link { return c.link }
+
+// deliver is the link's sink: a surviving frame lands on the inner conn.
+func (c *ImpairedConn) deliver(payload interface{}) {
+	// The inner conn is gone; this frame and everything behind it dies
+	// with it, exactly as frames in flight do on a real broken link.
+	_ = c.inner.Send(payload.(Msg)) //softmow:allow errdiscard frames in flight die with a broken link; recovery is the fence/probe protocol's job
+}
+
+// Send implements Conn: the message enters the impairment pipeline and
+// the call returns immediately (an agent emitting a reply is not the
+// party paying the propagation time — the wire is).
+func (c *ImpairedConn) Send(m Msg) error {
+	if err := c.link.Send(m, wireSize(&m)); err != nil {
 		return ErrClosed
-	}
-	c.q = append(c.q, delayedMsg{m: m, due: due})
-	c.mu.Unlock()
-	select {
-	case c.wake <- struct{}{}:
-	default:
 	}
 	return nil
 }
 
-// Recv implements Conn, undelayed (the opposite leg is modeled by
+// Recv implements Conn, unimpaired (the opposite leg is modeled by
 // wrapping the peer's conn instead).
-func (c *DelayedConn) Recv() (Msg, error) { return c.inner.Recv() }
+func (c *ImpairedConn) Recv() (Msg, error) { return c.inner.Recv() }
 
-// Close implements Conn. Queued but undelivered messages are dropped, as
-// frames in flight are when a link dies.
-func (c *DelayedConn) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil
+// Close implements Conn. The inner conn closes first so a delivery
+// blocked on a full in-process pipe unblocks, then the link shuts down:
+// after Close returns, no queued frame is ever delivered to the inner
+// conn — frames in flight die, as they do when a real link is cut.
+func (c *ImpairedConn) Close() error {
+	err := c.inner.Close()
+	if cerr := c.link.Close(); cerr != nil && err == nil {
+		err = cerr
 	}
-	c.closed = true
-	c.mu.Unlock()
-	close(c.done)
-	return c.inner.Close()
+	return err
 }
 
-// forward is the wire: it releases queued messages to the inner conn when
-// their delay elapses, preserving FIFO order.
-func (c *DelayedConn) forward() {
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	defer timer.Stop()
-	for {
-		c.mu.Lock()
-		var next delayedMsg
-		have := c.head < len(c.q)
-		if have {
-			next = c.q[c.head]
-		} else if c.head > 0 {
-			// Fully drained: release the backing array.
-			c.q, c.head = nil, 0
-		}
-		c.mu.Unlock()
-		if !have {
-			select {
-			case <-c.wake:
-				continue
-			case <-c.done:
-				return
-			}
-		}
-		// Emulated propagation delay shapes measured latency only, never
-		// replayable state.
-		if d := time.Until(next.due); d > 0 {
-			timer.Reset(d)
-			select {
-			case <-timer.C:
-			case <-c.done:
-				return
-			}
-		}
-		c.mu.Lock()
-		c.head++
-		c.mu.Unlock()
-		if err := c.inner.Send(next.m); err != nil {
-			// The inner conn is gone; everything behind this message dies
-			// with it, exactly as it would on a real broken link.
-			return
-		}
+// wireSize estimates m's encoded frame size in bytes for the netem rate
+// model. It deliberately trades exactness for zero allocation on the
+// Send path: fixed header plus a per-body-type estimate that scales with
+// the variable-length parts that matter (batch length, port count).
+func wireSize(m *Msg) int {
+	const header = 16 // length prefix + type + xid + datapath
+	switch b := m.Body.(type) {
+	case FlowMod:
+		return header + 96
+	case FlowModBatch:
+		return header + 8 + 96*len(b.Mods)
+	case FeatureReply:
+		return header + 64 + 32*len(b.Ports)
+	case PacketIn, PacketOut:
+		return header + 128
+	case Echo:
+		return header + 8 + len(b.Payload)
+	case Frag:
+		return header + 8 + len(b.Data)
+	default:
+		return header + 32
 	}
 }

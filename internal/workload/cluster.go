@@ -8,9 +8,60 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataplane"
 	"repro/internal/interdomain"
+	"repro/internal/netem"
 	"repro/internal/reca"
 	"repro/internal/southbound"
 )
+
+// ControlPlane describes how a cluster realizes its control channels:
+// direct in-process calls (the zero value), or the real southbound
+// protocol over pipes shaped by a delay and an optional netem impairment
+// profile. It is JSON-embeddable so region slices of a distributed run
+// reproduce the launcher's exact channel conditions.
+type ControlPlane struct {
+	// Delay is the baseline one-way control-channel propagation delay
+	// (the historical controlDelay); the impairment profile's own delay
+	// and jitter layer on top of it.
+	Delay time.Duration `json:"delay_ns,omitempty"`
+	// Impair, when non-nil, applies the netem profile — jitter, loss,
+	// reordering, rate caps, partition windows — to every leaf↔switch
+	// channel. A non-nil profile forces protocol attachment even with a
+	// zero Delay.
+	Impair *netem.Profile `json:"impair,omitempty"`
+	// Seed derives the per-link RNG streams; links are named by device ID,
+	// so the same (seed, profile) reproduces the same drop/jitter sequence
+	// per link regardless of build order.
+	Seed int64 `json:"seed,omitempty"`
+	// FixedTimeout disables the RTT-adaptive fence deadlines on attached
+	// ConnDevices — the comparison baseline of the impairment matrix.
+	FixedTimeout bool `json:"fixed_timeout,omitempty"`
+	// FenceTimeout overrides the ConnDevice request timeout (0 keeps the
+	// DialDevice default).
+	FenceTimeout time.Duration `json:"fence_timeout_ns,omitempty"`
+}
+
+// protocol reports whether switches attach over the southbound protocol.
+func (cp ControlPlane) protocol() bool { return cp.Delay > 0 || cp.Impair != nil }
+
+// effective is the full per-link impairment profile: the netem profile
+// with the baseline delay folded in.
+func (cp ControlPlane) effective() netem.Profile {
+	var p netem.Profile
+	if cp.Impair != nil {
+		p = *cp.Impair
+	}
+	p.Delay += cp.Delay
+	return p
+}
+
+// controlLink records one impaired southbound channel for post-build
+// reconfiguration (impairment activation, scheduled partitions) and
+// stats aggregation.
+type controlLink struct {
+	Region int
+	Dev    dataplane.DeviceID
+	Conn   *southbound.ImpairedConn
+}
 
 // Region is one leaf region of a generated cluster.
 type Region struct {
@@ -46,12 +97,13 @@ type Cluster struct {
 	// for a full in-process cluster.
 	Lo, Hi int
 
-	// devices and conns record every protocol device and delayed pipe a
-	// delayed attach created, and agents tracks the switch-agent serve
+	// devices and links record every protocol device and impaired pipe a
+	// protocol attach created, and agents tracks the switch-agent serve
 	// goroutines, so Close can tear the whole control plane down and
 	// prove every goroutine exited.
 	devices   []*core.ConnDevice
-	conns     []*southbound.DelayedConn
+	links     []controlLink
+	cp        ControlPlane
 	agents    sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -115,13 +167,15 @@ func addRegionDataplane(net *dataplane.Network, k, bsPerRegion int) (Region, cor
 	return reg, spec, ep, nil
 }
 
-// attachDelayed replaces a leaf's in-process switch adapters with
+// attachProtocol replaces region k's in-process switch adapters with
 // protocol devices: a real agent per switch served over an in-memory
-// pipe whose device→controller leg is held back by a DelayedConn — so
+// pipe whose device→controller leg is shaped by an ImpairedConn — so
 // the workload exercises the binary codec, the ConnDevice completion
 // pipeline, and genuine WAN round-trip overlap rather than a per-call
-// sleep.
-func (cl *Cluster) attachDelayed(leaf *core.Controller, controlDelay time.Duration) error {
+// sleep. Attachment runs on the clean delay-only profile; the builders
+// switch to the full impairment after construction (ActivateImpairment),
+// so handshakes and discovery never race loss or partition windows.
+func (cl *Cluster) attachProtocol(leaf *core.Controller, k int) error {
 	for _, d := range leaf.Devices() {
 		sw := cl.Net.Switch(d.ID())
 		if sw == nil {
@@ -129,16 +183,23 @@ func (cl *Cluster) attachDelayed(leaf *core.Controller, controlDelay time.Durati
 		}
 		agent := southbound.NewSwitchAgent(cl.Net, sw)
 		ctrlEnd, devEnd := southbound.Pipe(256)
-		dc := southbound.NewDelayedConn(devEnd, controlDelay)
-		cl.conns = append(cl.conns, dc)
+		rng := netem.LinkRNG(cl.cp.Seed, string(d.ID()))
+		ic := southbound.NewImpairedConn(devEnd, netem.Profile{Delay: cl.cp.effective().Delay}, rng)
+		cl.links = append(cl.links, controlLink{Region: k, Dev: d.ID(), Conn: ic})
 		cl.agents.Add(1)
 		go func() {
 			defer cl.agents.Done()
-			_ = agent.Serve(dc) //softmow:allow errdiscard the agent exits when its pipe dies; teardown is the only cause and the error carries no extra signal
+			_ = agent.Serve(ic) //softmow:allow errdiscard the agent exits when its pipe dies; teardown is the only cause and the error carries no extra signal
 		}()
 		cd, err := core.DialDevice(ctrlEnd, leaf.ID)
 		if err != nil {
 			return fmt.Errorf("workload: dial %s: %w", d.ID(), err)
+		}
+		if cl.cp.FixedTimeout {
+			cd.AdaptiveTimeout = false
+		}
+		if cl.cp.FenceTimeout > 0 {
+			cd.RequestTimeout = cl.cp.FenceTimeout
 		}
 		cl.devices = append(cl.devices, cd)
 		leaf.AttachDevice(cd)
@@ -146,17 +207,49 @@ func (cl *Cluster) attachDelayed(leaf *core.Controller, controlDelay time.Durati
 	return nil
 }
 
-// Close tears down every protocol device and delayed pipe a delayed
+// ActivateImpairment switches every southbound link from the clean
+// bootstrap profile to the cluster's full impairment profile. Builders
+// call it once construction completes; callers may call it again after a
+// SetProfile experiment to restore the configured conditions.
+func (cl *Cluster) ActivateImpairment() {
+	full := cl.cp.effective()
+	for _, l := range cl.links {
+		l.Conn.Link().SetProfile(full)
+	}
+}
+
+// SetRegionDown hard-partitions (or heals) region k's southbound control
+// channels — the scheduled-partition scenario's lever. It composes with
+// the active profile: healing restores the impaired (not clean) channel.
+func (cl *Cluster) SetRegionDown(k int, down bool) {
+	for _, l := range cl.links {
+		if l.Region == k {
+			l.Conn.Link().SetDown(down)
+		}
+	}
+}
+
+// ImpairmentStats aggregates netem delivery and drop counts across every
+// southbound link of the cluster.
+func (cl *Cluster) ImpairmentStats() netem.Stats {
+	var s netem.Stats
+	for _, l := range cl.links {
+		s.Add(l.Conn.Link().Stats())
+	}
+	return s
+}
+
+// Close tears down every protocol device and impaired pipe a protocol
 // attach created and waits until all switch-agent and device goroutines
-// have exited. It is a no-op for clusters built without a control delay
-// and safe to call more than once.
+// have exited. It is a no-op for clusters built with direct in-process
+// devices and safe to call more than once.
 func (cl *Cluster) Close() {
 	cl.closeOnce.Do(func() {
 		for _, cd := range cl.devices {
 			_ = cd.Close() //softmow:allow errdiscard teardown path; the pipe cannot fail to close and pending work is failed with ErrClosed by design
 		}
-		for _, dc := range cl.conns {
-			_ = dc.Close() //softmow:allow errdiscard teardown path; closing the delayed leg is idempotent and its error carries no extra signal
+		for _, l := range cl.links {
+			_ = l.Conn.Close() //softmow:allow errdiscard teardown path; closing the impaired leg is idempotent and its error carries no extra signal
 		}
 		cl.agents.Wait()
 		for _, cd := range cl.devices {
@@ -180,10 +273,13 @@ func addInterdomain(r *Region, ep *dataplane.EgressPoint) {
 // BuildCluster constructs the R-region ring with bsPerRegion base
 // stations per region and the given UE-store shard count on every
 // controller (0 keeps core.DefaultUEShards; 1 is the coarse single-mutex
-// baseline). controlDelay > 0 re-attaches every leaf's physical switches
-// through the real southbound protocol over delayed pipes. Construction
-// is deterministic — no RNG is consumed.
-func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) (*Cluster, error) {
+// baseline). A control plane requesting protocol attachment (nonzero
+// Delay or a netem profile) re-attaches every leaf's physical switches
+// through the real southbound protocol over impaired pipes; the full
+// impairment activates after construction. Construction is deterministic
+// — topology consumes no RNG, and link impairment streams derive from
+// cp.Seed alone.
+func BuildCluster(regions, bsPerRegion, shards int, cp ControlPlane) (*Cluster, error) {
 	if regions < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
 	}
@@ -191,7 +287,7 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 		return nil, fmt.Errorf("workload: need at least 1 BS per region, got %d", bsPerRegion)
 	}
 	net := dataplane.NewNetwork()
-	cl := &Cluster{Net: net, Lo: 0, Hi: regions}
+	cl := &Cluster{Net: net, Lo: 0, Hi: regions, cp: cp}
 	specs := make([]core.LeafSpec, 0, regions)
 	egresses := make([]*dataplane.EgressPoint, 0, regions)
 	for k := 0; k < regions; k++ {
@@ -222,9 +318,9 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 			c.SetUEShardCount(shards)
 		}
 	}
-	if controlDelay > 0 {
-		for _, leaf := range hier.Leaves {
-			if err := cl.attachDelayed(leaf, controlDelay); err != nil {
+	if cp.protocol() {
+		for k, leaf := range hier.Leaves {
+			if err := cl.attachProtocol(leaf, k); err != nil {
 				return nil, err
 			}
 		}
@@ -237,6 +333,7 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 		addInterdomain(r, egresses[k])
 		r.Leaf.PropagateInterdomain()
 	}
+	cl.ActivateImpairment()
 	return cl, nil
 }
 
@@ -254,7 +351,7 @@ func BuildCluster(regions, bsPerRegion, shards int, controlDelay time.Duration) 
 // Leaves are bootstrapped but not attached to any parent; the caller
 // connects each to the launcher over the northbound wire and sequences
 // interdomain propagation in region order.
-func BuildRegionSlice(regions, bsPerRegion, shards int, controlDelay time.Duration, lo, hi int) (*Cluster, error) {
+func BuildRegionSlice(regions, bsPerRegion, shards int, cp ControlPlane, lo, hi int) (*Cluster, error) {
 	if regions < 2 {
 		return nil, fmt.Errorf("workload: need at least 2 regions, got %d", regions)
 	}
@@ -265,7 +362,7 @@ func BuildRegionSlice(regions, bsPerRegion, shards int, controlDelay time.Durati
 		return nil, fmt.Errorf("workload: bad region slice [%d, %d) of %d", lo, hi, regions)
 	}
 	net := dataplane.NewNetwork()
-	cl := &Cluster{Net: net, Regions: make([]Region, regions), Lo: lo, Hi: hi}
+	cl := &Cluster{Net: net, Regions: make([]Region, regions), Lo: lo, Hi: hi, cp: cp}
 	for k := range cl.Regions {
 		cl.Regions[k] = regionNames(k, bsPerRegion)
 	}
@@ -312,14 +409,15 @@ func BuildRegionSlice(regions, bsPerRegion, shards int, controlDelay time.Durati
 		if shards != 0 {
 			leaf.SetUEShardCount(shards)
 		}
-		if controlDelay > 0 {
-			if err := cl.attachDelayed(leaf, controlDelay); err != nil {
+		if cp.protocol() {
+			if err := cl.attachProtocol(leaf, k); err != nil {
 				return nil, err
 			}
 		}
 		cl.Regions[k].Leaf = leaf
 		addInterdomain(&cl.Regions[k], egresses[k])
 	}
+	cl.ActivateImpairment()
 	return cl, nil
 }
 

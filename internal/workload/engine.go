@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/netem"
 )
 
 // Mode selects how the engine paces the schedule.
@@ -60,10 +61,44 @@ type Config struct {
 	// propagation delay (0 = direct in-process devices). With a nonzero
 	// delay every physical switch attaches over the real southbound
 	// protocol — an agent served over a pipe whose replies are held back
-	// by a DelayedConn — so operations are I/O-bound and throughput
+	// by an impaired conn — so operations are I/O-bound and throughput
 	// scaling comes from pipelining fences across devices and from
 	// overlapping waits across concurrent UEs.
 	ControlDelay time.Duration
+	// Impair layers a netem impairment profile (jitter, loss, reordering,
+	// rate caps, partition windows) onto every leaf↔switch control
+	// channel. A non-nil profile forces protocol attachment even when
+	// ControlDelay is zero; its delay and jitter add on top of
+	// ControlDelay. Per-link randomness derives from Seed.
+	Impair *netem.Profile
+	// ImpairNB impairs the child→parent northbound wire of a distributed
+	// region slice (applied when the slice dials its launcher); in-process
+	// clusters ignore it.
+	ImpairNB *netem.Profile
+	// FixedTimeout disables the RTT-adaptive fence deadlines on attached
+	// ConnDevices — the comparison baseline the impairment matrix
+	// measures adaptive timeouts against.
+	FixedTimeout bool
+	// FenceTimeout overrides the southbound request timeout (0 keeps the
+	// DialDevice default).
+	FenceTimeout time.Duration
+}
+
+// EffectiveProfile is the full per-link southbound impairment profile
+// this config produces — the netem profile with ControlDelay folded in —
+// echoed into reports as scenario provenance.
+func (c *Config) EffectiveProfile() netem.Profile { return c.controlPlane().effective() }
+
+// controlPlane assembles the cluster control-plane description from the
+// config's channel knobs.
+func (c *Config) controlPlane() ControlPlane {
+	return ControlPlane{
+		Delay:        c.ControlDelay,
+		Impair:       c.Impair,
+		Seed:         c.Seed,
+		FixedTimeout: c.FixedTimeout,
+		FenceTimeout: c.FenceTimeout,
+	}
 }
 
 // normalize applies defaults in place and validates the config.
@@ -182,7 +217,7 @@ func NewEngine(cfg Config) (*Engine, *Cluster, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, nil, err
 	}
-	cl, err := BuildCluster(cfg.Regions, cfg.BSPerRegion, cfg.Shards, cfg.ControlDelay)
+	cl, err := BuildCluster(cfg.Regions, cfg.BSPerRegion, cfg.Shards, cfg.controlPlane())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/netem"
 	"repro/internal/northbound"
 	"repro/internal/southbound"
 )
@@ -61,7 +62,7 @@ func NewRegionProc(rc RegionConfig) (*RegionProc, error) {
 		return nil, err
 	}
 	cl, err := BuildRegionSlice(rc.Config.Regions, rc.Config.BSPerRegion,
-		rc.Config.Shards, rc.Config.ControlDelay, rc.Lo, rc.Hi)
+		rc.Config.Shards, rc.Config.controlPlane(), rc.Lo, rc.Hi)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +83,14 @@ func (p *RegionProc) ConnectRegion(k int) error {
 	if err != nil {
 		return err
 	}
-	pc, err := northbound.Connect(p.cl.Regions[k].Leaf, southbound.NewBinConn(nc))
+	var conn southbound.Conn = southbound.NewBinConn(nc)
+	if prof := p.rc.Config.ImpairNB; prof != nil {
+		// The northbound wire gets its own impairment stream, keyed by the
+		// leaf name so every region's channel draws independently.
+		conn = southbound.NewImpairedConn(conn, *prof,
+			netem.LinkRNG(p.rc.Config.Seed, fmt.Sprintf("nb/L%d", k)))
+	}
+	pc, err := northbound.Connect(p.cl.Regions[k].Leaf, conn)
 	if err != nil {
 		nc.Close()
 		return err

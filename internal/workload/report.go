@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/netem"
 )
 
 // TraceDigest hashes the replayable event schedule: FNV-64a over every
@@ -124,6 +125,50 @@ type Report struct {
 	Baseline     *BaselineComparison `json:"baseline,omitempty"`
 	Distributed  *DistributedStats   `json:"distributed,omitempty"`
 	Failover     *FailoverSection    `json:"failover,omitempty"`
+	Impairment   *ImpairmentMatrix   `json:"impairment,omitempty"`
+}
+
+// ImpairmentScenario is one row of the impaired-WAN scenario matrix: the
+// channel conditions, the run outcome, the link-level netem accounting,
+// and the adaptive-timeout telemetry (samples accepted, barrier retries
+// spent, replies that arrived after their fence expired).
+type ImpairmentScenario struct {
+	Name     string        `json:"name"`
+	Profile  netem.Profile `json:"profile"`
+	Adaptive bool          `json:"adaptive_timeouts"`
+	// BestEffort marks a deliberately mis-tuned baseline (e.g. a tight
+	// fixed timeout under jitter) that is expected to fail operations; it
+	// is reported for comparison but excluded from the matrix's
+	// zero-failure and digest-equality gates.
+	BestEffort   bool        `json:"best_effort,omitempty"`
+	Events       int         `json:"events"`
+	Failures     int64       `json:"failures"`
+	ElapsedSec   float64     `json:"elapsed_sec"`
+	EventsPerSec float64     `json:"events_per_sec"`
+	TraceDigest  string      `json:"trace_digest"`
+	StateDigest  string      `json:"state_digest"`
+	Netem        netem.Stats `json:"netem"`
+	// RTTSamples / BarrierRetries / StaleReplies are deltas of the
+	// process-global southbound counters over this scenario's run.
+	RTTSamples     int64             `json:"rtt_samples"`
+	BarrierRetries int64             `json:"barrier_retries"`
+	StaleReplies   int64             `json:"stale_replies"`
+	Partition      *PartitionOutcome `json:"partition,omitempty"`
+}
+
+// PartitionOutcome records a scheduled-partition scenario's liveness
+// trajectory: suspects declared while the region was dark, targeted
+// rediscoveries on heal, and whether every link came back up.
+type PartitionOutcome struct {
+	Suspects      int64 `json:"suspects"`
+	Rediscoveries int64 `json:"rediscoveries"`
+	LinksRestored bool  `json:"links_restored"`
+}
+
+// ImpairmentMatrix is the "impairment" report section cmd/loadgen
+// -impair-matrix emits.
+type ImpairmentMatrix struct {
+	Scenarios []ImpairmentScenario `json:"scenarios"`
 }
 
 // RegionProcStats is one region process's contribution to a distributed
